@@ -1,0 +1,10 @@
+//! §6.2.2 design-choice ablation: why SONIC uses sparse undo-logging on
+//! sparse FC layers instead of loop-ordered buffering.
+fn main() {
+    let nets = bench::experiments::paper_networks();
+    for tn in &nets {
+        println!("== sparse-FC ablation ({}) ==", tn.network.label());
+        println!("{}", bench::experiments::ablation_sparse_undo(tn).render());
+    }
+    println!("paper: loop-ordered buffering on sparse FC wastes energy copying unmodified activations");
+}

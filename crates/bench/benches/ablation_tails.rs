@@ -1,0 +1,9 @@
+//! §9.1 ablation: what LEA and DMA each contribute to TAILS.
+fn main() {
+    let nets = bench::experiments::paper_networks();
+    for tn in &nets {
+        println!("== TAILS ablation ({}) ==", tn.network.label());
+        println!("{}", bench::experiments::ablation_tails(tn).render());
+    }
+    println!("paper: LEA ~1.4x, DMA ~14%");
+}

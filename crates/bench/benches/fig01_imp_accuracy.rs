@@ -1,0 +1,7 @@
+//! Fig. 1: IMpJ vs inference accuracy, transmitting full sensor readings.
+fn main() {
+    println!("== Fig. 1: interesting images sent per harvested kJ (full images) ==");
+    println!("{}", bench::experiments::fig_imp(false).render());
+    println!("{}", bench::experiments::imp_headlines(false, 0.99));
+    println!("paper: local inference ~20x over always-send; S&T <= ~1.14x naive");
+}

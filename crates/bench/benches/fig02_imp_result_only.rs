@@ -1,0 +1,7 @@
+//! Fig. 2: IMpJ vs accuracy when sending only inference results.
+fn main() {
+    println!("== Fig. 2: interesting results sent per harvested kJ (result-only) ==");
+    println!("{}", bench::experiments::fig_imp(true).render());
+    println!("{}", bench::experiments::imp_headlines(true, 0.99));
+    println!("paper: S&T ~480x baseline, ~4.6x naive; ideal ~2.2x S&T");
+}

@@ -1,0 +1,10 @@
+//! Fig. 4: GENESIS accuracy-vs-MACs sweep with Pareto frontier.
+use models::Network;
+fn main() {
+    for n in Network::ALL {
+        println!("== Fig. 4 ({}) : accuracy vs MACs, feasibility, Pareto ==", n.label());
+        let (fig4, _, chosen) = bench::experiments::fig_genesis(n);
+        println!("{}", fig4.render());
+        println!("{chosen}\n");
+    }
+}

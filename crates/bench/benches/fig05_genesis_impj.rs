@@ -1,0 +1,10 @@
+//! Fig. 5: configurations mapped through the IMpJ application model.
+use models::Network;
+fn main() {
+    for n in Network::ALL {
+        println!("== Fig. 5 ({}) : IMpJ vs inference energy ==", n.label());
+        let (_, fig5, chosen) = bench::experiments::fig_genesis(n);
+        println!("{}", fig5.render());
+        println!("{chosen}\n");
+    }
+}

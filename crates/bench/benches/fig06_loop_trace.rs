@@ -1,0 +1,6 @@
+//! Fig. 6: task-tiling vs loop continuation on a tiny energy buffer.
+fn main() {
+    println!("== Fig. 6: Tile-5 / Tile-12 / loop continuation ==");
+    println!("{}", bench::experiments::fig6().render());
+    println!("paper: Tile-5 wastes work, Tile-12 never terminates, SONIC resumes mid-loop");
+}

@@ -1,0 +1,15 @@
+//! Fig. 9: inference time for 6 implementations x 3 networks x 4 power
+//! systems, including "does not complete" outcomes.
+fn main() {
+    let nets = bench::experiments::paper_networks();
+    let powers = bench::experiments::fig9_powers();
+    let backends = bench::experiments::fig9_backends();
+    let (t, raw) = bench::experiments::fig9(&nets, &powers, &backends);
+    println!("== Fig. 9: inference time ==");
+    println!("{}", t.render());
+    println!("== §9.1 headline ratios (continuous power) ==");
+    println!("{}", bench::experiments::continuous_ratios(&raw).render());
+    println!("== non-termination crossover (buffer-size sweep, {}) ==", nets[0].network.label());
+    println!("{}", bench::experiments::dnc_crossover(&nets[0]).render());
+    println!("paper: Tile-128 fails at 100 uF; our calibrated crossover sits at a smaller buffer");
+}

@@ -1,0 +1,9 @@
+//! Fig. 10: kernel vs control time per layer (continuous power).
+use mcu::PowerSystem;
+fn main() {
+    let nets = bench::experiments::paper_networks();
+    let backends = bench::experiments::fig9_backends();
+    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::continuous()], &backends);
+    println!("== Fig. 10: kernel vs control cycles per layer ==");
+    println!("{}", bench::experiments::fig10(&raw).render());
+}

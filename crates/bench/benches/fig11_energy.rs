@@ -1,0 +1,9 @@
+//! Fig. 11: inference energy with the 1 mF capacitor.
+use mcu::PowerSystem;
+fn main() {
+    let nets = bench::experiments::paper_networks();
+    let backends = bench::experiments::fig9_backends();
+    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::cap_1mf()], &backends);
+    println!("== Fig. 11: inference energy @ 1 mF ==");
+    println!("{}", bench::experiments::fig11(&raw).render());
+}

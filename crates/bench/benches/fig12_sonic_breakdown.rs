@@ -1,0 +1,18 @@
+//! Fig. 12: SONIC's energy by operation class and layer.
+use mcu::PowerSystem;
+use sonic::exec::Backend;
+fn main() {
+    let nets = bench::experiments::paper_networks();
+    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::continuous()], &[Backend::Sonic]);
+    println!("== Fig. 12: SONIC energy breakdown ==");
+    println!("{}", bench::experiments::fig12(&raw).render());
+    for (net, _, _, out) in &raw {
+        let (control, idx) = bench::experiments::sonic_shares(out);
+        println!(
+            "{net}: control instructions {:.1}% of energy (paper ~26%), loop-index FRAM writes {:.1}% (paper ~14%)",
+            control * 100.0, idx * 100.0
+        );
+    }
+    println!("\n== §10: future intermittent-architecture opportunities (MNIST, SONIC) ==");
+    println!("{}", bench::experiments::future_architecture(&raw[0].3).render());
+}

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks: simulator throughput for the core kernels.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn::layers::Layer;
+use dnn::model::Model;
+use dnn::quant::quantize;
+use dnn::tensor::Tensor;
+use mcu::{DeviceSpec, PowerSystem};
+use rand::SeedableRng;
+use sonic::exec::{run_inference, Backend, TailsConfig};
+
+fn tiny() -> (dnn::quant::QModel, Vec<fxp::Q15>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut m = Model::new(vec![
+        Layer::conv2d(4, 1, 3, 3, &mut rng),
+        Layer::relu(),
+        Layer::flatten(),
+        Layer::dense(4 * 10 * 10, 6, &mut rng),
+    ]);
+    let shape = [1usize, 12, 12];
+    let calib: Vec<Tensor> = (0..2)
+        .map(|_| Tensor::uniform(shape.to_vec(), 0.9, &mut rng))
+        .collect();
+    let qm = quantize(&mut m, &shape, &calib);
+    let x = Tensor::uniform(shape.to_vec(), 0.9, &mut rng);
+    let input = qm.quantize_input(&x);
+    (qm, input)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let (qm, input) = tiny();
+    let spec = DeviceSpec::msp430fr5994();
+    for b in [
+        Backend::Baseline,
+        Backend::Sonic,
+        Backend::Tiled(32),
+        Backend::Tails(TailsConfig::default()),
+    ] {
+        c.bench_function(&format!("simulate-{}", b.label()), |bench| {
+            bench.iter(|| {
+                std::hint::black_box(run_inference(
+                    &qm,
+                    &input,
+                    &spec,
+                    PowerSystem::continuous(),
+                    &b,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

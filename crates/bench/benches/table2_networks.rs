@@ -1,0 +1,16 @@
+//! Table 2: the deployed networks (layers, representation, size, accuracy).
+fn main() {
+    let nets = bench::experiments::paper_networks();
+    println!("== Table 2: deployed networks ==");
+    println!("{}", bench::experiments::table2(&nets).render());
+    for tn in &nets {
+        println!(
+            "{}: {} nonzero params, {} FRAM words, quantized accuracy {:.3} (paper {:.2})",
+            tn.network.label(),
+            tn.model.nonzero_params(),
+            tn.qmodel.fram_words(),
+            tn.accuracy,
+            tn.network.paper_accuracy()
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md §5 for the experiment index).
+//!
+//! Each `fig*` function returns the data and a formatted report; the
+//! `benches/` targets print the report and write CSV under
+//! `target/experiments/`. EXPERIMENTS.md records paper-vs-measured.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;

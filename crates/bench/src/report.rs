@@ -1,0 +1,147 @@
+//! Plain-text tables and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory where experiment CSVs are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a table's CSV under `target/experiments/<name>.csv`.
+pub fn save_csv(name: &str, table: &Table) {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    if std::fs::write(&path, table.to_csv()).is_ok() {
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Formats seconds with sensible precision.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a ratio like `6.9x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(123.4), "123");
+        assert_eq!(secs(3.14159), "3.14");
+        assert_eq!(secs(0.01234), "0.0123");
+        assert_eq!(ratio(6.93), "6.93x");
+    }
+}

@@ -1,0 +1,233 @@
+//! The naïve baseline: fast, register-accumulating, intermittence-unsafe.
+//!
+//! This is the "standard, baseline implementation that does not tolerate
+//! intermittent operation" of §8: each output element's dot product
+//! accumulates in a (volatile) register and is written to FRAM once. All
+//! loop state is volatile, so a power failure restarts the *whole
+//! inference* (the scheduler's `FromEntry` policy); if total inference
+//! energy exceeds the device's buffer it never terminates.
+
+use crate::deploy::{DeployedKind, DeployedLayer, DeployedModel};
+use dnn::quant::finish_acc;
+use fxp::{Accum, Q15};
+use intermittent::task::{TaskGraph, Transition};
+use mcu::{Device, Op, Phase, PowerFailure};
+
+/// Unpacks a flattened kernel offset into (c, ky, kx).
+#[inline]
+pub(crate) fn unpack_tap(off: u16, kh: u32, kw: u32) -> (u32, u32, u32) {
+    let off = off as u32;
+    let c = off / (kh * kw);
+    let rem = off % (kh * kw);
+    (c, rem / kw, rem % kw)
+}
+
+/// Charges the shift/bias finishing arithmetic (shared semantics with
+/// [`dnn::quant::finish_acc`]).
+#[inline]
+pub(crate) fn charge_finish(dev: &mut Device) -> Result<(), PowerFailure> {
+    dev.consume(Op::Alu)?; // shift
+    dev.consume(Op::FxpAdd) // bias add
+}
+
+fn conv_layer(dev: &mut Device, m: &DeployedModel, l: &DeployedLayer) -> Result<(), PowerFailure> {
+    let DeployedKind::Conv {
+        dims,
+        weights,
+        sparse,
+        bias,
+        shift,
+    } = &l.kind
+    else {
+        unreachable!("conv_layer on non-conv")
+    };
+    let [nf, nc, kh, kw] = *dims;
+    let [_, h, w] = l.in_shape;
+    let [_, oh, ow] = l.out_shape;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+    for f in 0..nf {
+        let b = dev.read(*bias, f)?;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = Accum::ZERO;
+                match sparse {
+                    Some((row_ptr, taps)) => {
+                        let start = dev.read(*row_ptr, f)?.raw() as u16 as u32;
+                        let end = dev.read(*row_ptr, f + 1)?.raw() as u16 as u32;
+                        for t in start..end {
+                            let off = dev.read(*taps, 2 * t)?.raw() as u16;
+                            dev.consume(Op::Alu)?; // unpack
+                            let (c, ky, kx) = unpack_tap(off, kh, kw);
+                            let wq = dev.read(*taps, 2 * t + 1)?;
+                            dev.consume(Op::Alu)?; // address
+                            let xq = dev.read(src, (c * h + oy + ky) * w + ox + kx)?;
+                            dev.consume(Op::FxpMul)?;
+                            dev.consume(Op::FxpAdd)?;
+                            acc.mac(xq, wq);
+                            dev.consume(Op::Incr)?;
+                            dev.consume(Op::Branch)?;
+                        }
+                    }
+                    None => {
+                        for c in 0..nc {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let wq = dev
+                                        .read(*weights, ((f * nc + c) * kh + ky) * kw + kx)?;
+                                    dev.consume(Op::Alu)?; // address
+                                    let xq = dev.read(src, (c * h + oy + ky) * w + ox + kx)?;
+                                    dev.consume(Op::FxpMul)?;
+                                    dev.consume(Op::FxpAdd)?;
+                                    acc.mac(xq, wq);
+                                    dev.consume(Op::Incr)?;
+                                    dev.consume(Op::Branch)?;
+                                }
+                            }
+                        }
+                    }
+                }
+                charge_finish(dev)?;
+                dev.write(dst, (f * oh + oy) * ow + ox, finish_acc(acc, *shift, b))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dense_layer(dev: &mut Device, m: &DeployedModel, l: &DeployedLayer) -> Result<(), PowerFailure> {
+    let DeployedKind::Dense {
+        dims,
+        weights,
+        sparse_rows,
+        bias,
+        shift,
+        ..
+    } = &l.kind
+    else {
+        unreachable!("dense_layer on non-dense")
+    };
+    let [out_n, in_n] = *dims;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+    for o in 0..out_n {
+        let mut acc = Accum::ZERO;
+        match sparse_rows {
+            Some((row_ptr, entries)) => {
+                let start = dev.read(*row_ptr, o)?.raw() as u16 as u32;
+                let end = dev.read(*row_ptr, o + 1)?.raw() as u16 as u32;
+                for t in start..end {
+                    let col = dev.read(*entries, 2 * t)?.raw() as u16 as u32;
+                    let wq = dev.read(*entries, 2 * t + 1)?;
+                    dev.consume(Op::Alu)?;
+                    let xq = dev.read(src, col)?;
+                    dev.consume(Op::FxpMul)?;
+                    dev.consume(Op::FxpAdd)?;
+                    acc.mac(xq, wq);
+                    dev.consume(Op::Incr)?;
+                    dev.consume(Op::Branch)?;
+                }
+            }
+            None => {
+                for i in 0..in_n {
+                    let wq = dev.read(*weights, o * in_n + i)?;
+                    dev.consume(Op::Alu)?;
+                    let xq = dev.read(src, i)?;
+                    dev.consume(Op::FxpMul)?;
+                    dev.consume(Op::FxpAdd)?;
+                    acc.mac(xq, wq);
+                    dev.consume(Op::Incr)?;
+                    dev.consume(Op::Branch)?;
+                }
+            }
+        }
+        let b = dev.read(*bias, o)?;
+        charge_finish(dev)?;
+        dev.write(dst, o, finish_acc(acc, *shift, b))?;
+    }
+    Ok(())
+}
+
+pub(crate) fn pool_layer_direct(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    from: u32,
+) -> Result<(), PowerFailure> {
+    let DeployedKind::Pool { kh, kw } = l.kind else {
+        unreachable!("pool_layer on non-pool")
+    };
+    let [c, h, w] = l.in_shape;
+    let [_, oh, ow] = l.out_shape;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+    for o in from..c * oh * ow {
+        let ch = o / (oh * ow);
+        let oy = (o / ow) % oh;
+        let ox = o % ow;
+        let mut best = Q15::MIN;
+        for py in 0..kh {
+            for px in 0..kw {
+                dev.consume(Op::Alu)?;
+                let v = dev.read(src, (ch * h + oy * kh + py) * w + ox * kw + px)?;
+                dev.consume(Op::Branch)?;
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        dev.write(dst, o, best)?;
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn relu_layer_direct(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    from: u32,
+) -> Result<(), PowerFailure> {
+    let [c, h, w] = l.in_shape;
+    let buf = m.buf(l.src);
+    for i in from..c * h * w {
+        let v = dev.read(buf, i)?;
+        dev.consume(Op::Branch)?;
+        // In-place: idempotent because relu(relu(x)) == relu(x).
+        dev.write(buf, i, v.relu())?;
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+    }
+    Ok(())
+}
+
+/// Runs one layer with baseline semantics (shared with TAILS's software
+/// paths where noted).
+pub(crate) fn run_layer(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+) -> Result<(), PowerFailure> {
+    dev.set_context(l.region, Phase::Kernel);
+    match &l.kind {
+        DeployedKind::Conv { .. } => conv_layer(dev, m, l),
+        DeployedKind::Dense { .. } => dense_layer(dev, m, l),
+        DeployedKind::Pool { .. } => pool_layer_direct(dev, m, l, 0),
+        DeployedKind::Relu => relu_layer_direct(dev, m, l, 0),
+        DeployedKind::Flatten => Ok(()),
+    }
+}
+
+/// Builds the baseline inference graph: a single unprotected task.
+pub fn build(m: &DeployedModel) -> TaskGraph<()> {
+    let m = m.clone();
+    let mut g = TaskGraph::new();
+    g.add("baseline-inference", move |dev, _| {
+        for l in &m.layers {
+            run_layer(dev, &m, l)?;
+        }
+        Ok(Transition::Done)
+    });
+    g
+}

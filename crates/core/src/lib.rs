@@ -1,0 +1,48 @@
+//! SONIC & TAILS: intermittence-safe DNN inference runtimes.
+//!
+//! This crate is the paper's primary contribution, reimplemented on the
+//! simulated MSP430 device:
+//!
+//! - [`mod@deploy`]: lowers a quantized model ([`dnn::quant::QModel`]) onto
+//!   the device — weights flashed to FRAM (sparse layers in compressed
+//!   form), activation ping-pong buffers, per-layer scratch planes for
+//!   loop-ordered buffering, and the non-volatile control words SONIC's
+//!   loop continuation lives in.
+//! - [`baseline`]: the standard implementation that "accumulates values in
+//!   registers and avoids memory writes (but does not tolerate
+//!   intermittence)" (Fig. 10). It restarts from scratch on power failure
+//!   and never finishes once inference energy exceeds the buffer.
+//! - [`tiled`]: the prior state of the art — the loops restructured into
+//!   Alpaca tasks of `N` iterations (`Tile-8/32/128`), with every written
+//!   value redo-logged and committed at each transition (§6.2, Fig. 6).
+//! - [`sonic`]: SONIC. Loop continuation stores loop indices directly in
+//!   FRAM and resumes mid-loop after power failures; loop-ordered
+//!   buffering makes convolution/dense iterations idempotent via
+//!   write-only output planes; sparse undo-logging protects in-place
+//!   accumulation in sparse fully-connected layers (§6).
+//! - [`tails`]: TAILS. One-time calibration finds the largest LEA/DMA
+//!   tile that completes within the energy buffer, then convolutions run
+//!   on the LEA FIR unit with DMA staging through the 4 KB SRAM, software
+//!   bit-shifts (LEA has no vector left-shift), zero-padded sparse
+//!   filters, and a software fallback for sparse fully-connected layers
+//!   (§7).
+//! - [`exec`]: one entry point that runs any implementation on any power
+//!   system and returns the result plus the full energy/time trace.
+//!
+//! All implementations compute the same quantized network; each one's
+//! intermittent execution is bit-identical to its own continuous-power
+//! execution (the paper's correctness criterion), which the test suite
+//! checks under randomized power-failure schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod deploy;
+pub mod exec;
+pub mod sonic;
+pub mod tails;
+pub mod tiled;
+
+pub use deploy::{deploy, DeployedModel};
+pub use exec::{run_inference, Backend, InferenceOutcome, TailsConfig};

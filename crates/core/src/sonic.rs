@@ -1,0 +1,757 @@
+//! SONIC: software-only neural intermittent computing (paper §6).
+//!
+//! SONIC "breaks the rules" of task-based intermittent systems: loop
+//! indices and loop data are written *directly* to non-volatile memory,
+//! with no redo log and no privatization. Three mechanisms make that safe:
+//!
+//! - **Loop continuation** (§6.2.1): each layer task loads its loop
+//!   indices from FRAM on entry and stores the inner index after every
+//!   iteration. After a power failure the task resumes *from the last
+//!   attempted iteration* — no wasted work, no tiling, no non-termination.
+//! - **Loop-ordered buffering** (§6.2.2): convolutions and dense
+//!   fully-connected layers are computed filter-element by filter-element
+//!   ("tap by tap"), ping-ponging partial sums between two scratch planes.
+//!   An iteration reads only the *previous* plane and the inputs, and
+//!   writes only the *current* plane, so no location is read and then
+//!   written within an iteration — every iteration is idempotent, with no
+//!   commits at all. (On a cache-based machine this loop order would be a
+//!   locality disaster; the MSP430 has no cache, which SONIC exploits.)
+//! - **Sparse undo-logging** (§6.2.2): sparse fully-connected layers
+//!   update output activations in place (work proportional to the
+//!   nonzeros, not the buffer size). A two-word undo slot (saved value +
+//!   iteration tag) written *before* each in-place update makes the
+//!   read-modify-write idempotent: on restart, a matching tag means the
+//!   update may have landed, so the saved value is restored and the
+//!   iteration redone.
+//!
+//! The non-idempotent hazard in sparse layers is *partial accumulation
+//! state*, so the (stage, iteration) pair is packed into a single 16-bit
+//! word — FRAM's word-write atomicity then makes every state transition
+//! atomic. All other layer-level restarts are idempotent because a layer
+//! is a deterministic function of its (unmodified) input buffer.
+
+use crate::baseline::{charge_finish, unpack_tap};
+use crate::deploy::{DeployedKind, DeployedLayer, DeployedModel, UNDO_EMPTY};
+use dnn::quant::finish_acc;
+use fxp::{Accum, Q15};
+use intermittent::task::{TaskGraph, Transition};
+use mcu::{Device, FramBuf, Op, Phase, PowerFailure};
+
+/// Reads a control word (loop continuation state) with control-phase
+/// accounting.
+fn load_ctl(dev: &mut Device, w: mcu::FramWord, region: mcu::RegionId) -> Result<u16, PowerFailure> {
+    dev.set_context(region, Phase::Control);
+    let v = dev.load_word(w)?;
+    Ok(v)
+}
+
+/// Writes a control word with control-phase accounting (the FRAM writes
+/// to loop indices called out in §9.4 / Fig. 12).
+fn store_ctl(
+    dev: &mut Device,
+    w: mcu::FramWord,
+    v: u16,
+    region: mcu::RegionId,
+) -> Result<(), PowerFailure> {
+    dev.set_context(region, Phase::Control);
+    dev.store_word(w, v)
+}
+
+/// Tap metadata resolved once per task entry (held in registers).
+struct Tap {
+    w: Q15,
+    c: u32,
+    ky: u32,
+    kx: u32,
+}
+
+fn read_conv_tap(
+    dev: &mut Device,
+    weights: FramBuf,
+    sparse: &Option<(FramBuf, FramBuf)>,
+    dims: [u32; 4],
+    f: u32,
+    pos: u32,
+) -> Result<Tap, PowerFailure> {
+    let [_, nc, kh, kw] = dims;
+    match sparse {
+        Some((row_ptr, taps)) => {
+            let start = dev.read(*row_ptr, f)?.raw() as u16 as u32;
+            let off = dev.read(*taps, 2 * (start + pos))?.raw() as u16;
+            dev.consume(Op::Alu)?;
+            let (c, ky, kx) = unpack_tap(off, kh, kw);
+            let w = dev.read(*taps, 2 * (start + pos) + 1)?;
+            Ok(Tap { w, c, ky, kx })
+        }
+        None => {
+            let (c, ky, kx) = unpack_tap(pos as u16, kh, kw);
+            dev.consume(Op::Alu)?;
+            let w = dev.read(weights, f * (nc * kh * kw) + pos)?;
+            Ok(Tap { w, c, ky, kx })
+        }
+    }
+}
+
+fn conv_ntaps(
+    dev: &mut Device,
+    sparse: &Option<(FramBuf, FramBuf)>,
+    dims: [u32; 4],
+    f: u32,
+) -> Result<u32, PowerFailure> {
+    match sparse {
+        Some((row_ptr, _)) => {
+            let start = dev.read(*row_ptr, f)?.raw() as u16 as u32;
+            let end = dev.read(*row_ptr, f + 1)?.raw() as u16 as u32;
+            Ok(end - start)
+        }
+        None => Ok(dims[1] * dims[2] * dims[3]),
+    }
+}
+
+/// The convolution layer task (Listing 1's `Task_Convolve` +
+/// `Task_Next_Filter` + the per-filter finishing pass, fused into one
+/// self-transitioning task).
+#[allow(clippy::too_many_lines)]
+fn conv_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    self_id: usize,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let DeployedKind::Conv {
+        dims,
+        weights,
+        sparse,
+        bias,
+        shift,
+    } = &l.kind
+    else {
+        unreachable!("conv_task on non-conv")
+    };
+    let [nf, _, _, _] = *dims;
+    let [_, h, w_in] = l.in_shape;
+    let [_, oh, ow] = l.out_shape;
+    let plane = oh * ow;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+
+    let f = load_ctl(dev, l.filt, l.region)? as u32;
+    dev.consume(Op::Branch)?;
+    if f >= nf {
+        // Layer complete: reset for the next inference and move on.
+        store_ctl(dev, l.filt, 0, l.region)?;
+        return Ok(next);
+    }
+
+    let pos = load_ctl(dev, l.pos, l.region)? as u32;
+    dev.set_context(l.region, Phase::Control);
+    let ntaps = conv_ntaps(dev, sparse, *dims, f)?;
+    dev.consume(Op::Branch)?;
+
+    if pos >= ntaps {
+        // Finishing pass for filter f: shift + bias from the final
+        // partial plane into the output buffer. Read and write sets are
+        // disjoint, so resuming (or re-running) is idempotent.
+        let b = dev.read(*bias, f)?;
+        let src_plane = if ntaps == 0 {
+            None
+        } else {
+            Some(if (ntaps - 1) % 2 == 0 {
+                m.plane_a
+            } else {
+                m.plane_b
+            })
+        };
+        let mut j = load_ctl(dev, l.idx, l.region)? as u32;
+        dev.set_context(l.region, Phase::Kernel);
+        while j < plane {
+            // Partial planes hold Q15 sums; widen losslessly for the
+            // canonical finishing arithmetic.
+            let partial = match src_plane {
+                Some(p) => Accum::from_q15(dev.read(p, j)?),
+                None => Accum::ZERO,
+            };
+            charge_finish(dev)?;
+            dev.write(dst, f * plane + j, finish_acc(partial, *shift, b))?;
+            j += 1;
+            store_ctl(dev, l.idx, j as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
+        // Advance: idx, pos reset before filt increments; a crash between
+        // these re-runs the (idempotent) finishing pass.
+        store_ctl(dev, l.idx, 0, l.region)?;
+        store_ctl(dev, l.pos, 0, l.region)?;
+        store_ctl(dev, l.filt, (f + 1) as u16, l.region)?;
+        return Ok(Transition::To(self_id));
+    }
+
+    // Apply filter element `pos` across the whole plane (loop-ordered
+    // buffering): dest[i] = inter[i] + src[window(i)] * tap, with dest and
+    // inter alternating between the scratch planes.
+    dev.set_context(l.region, Phase::Control);
+    let tap = read_conv_tap(dev, *weights, sparse, *dims, f, pos)?;
+    let (dest, inter) = if pos % 2 == 0 {
+        (m.plane_a, m.plane_b)
+    } else {
+        (m.plane_b, m.plane_a)
+    };
+    let mut i = load_ctl(dev, l.idx, l.region)? as u32;
+    dev.set_context(l.region, Phase::Kernel);
+    while i < plane {
+        let oy = i / ow;
+        let ox = i % ow;
+        dev.consume(Op::Alu)?;
+        let x = dev.read(src, (tap.c * h + oy + tap.ky) * w_in + ox + tap.kx)?;
+        dev.consume(Op::FxpMul)?;
+        let prod = x * tap.w;
+        let v = if pos == 0 {
+            prod
+        } else {
+            dev.consume(Op::FxpAdd)?;
+            dev.read(inter, i)? + prod
+        };
+        dev.write(dest, i, v)?;
+        i += 1;
+        // Loop continuation: the index write that checkpoints progress.
+        store_ctl(dev, l.idx, i as u16, l.region)?;
+        dev.set_context(l.region, Phase::Kernel);
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+        dev.mark_progress();
+    }
+    // Next filter element; crash between these stores re-runs this tap,
+    // which is idempotent.
+    store_ctl(dev, l.idx, 0, l.region)?;
+    store_ctl(dev, l.pos, (pos + 1) as u16, l.region)?;
+    Ok(Transition::To(self_id))
+}
+
+/// Dense fully-connected layers use the same loop-ordered buffering with
+/// the input elements as "filter elements".
+fn dense_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    self_id: usize,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let DeployedKind::Dense {
+        dims,
+        weights,
+        bias,
+        shift,
+        ..
+    } = &l.kind
+    else {
+        unreachable!("dense_task on non-dense")
+    };
+    let [out_n, in_n] = *dims;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+
+    let j = load_ctl(dev, l.pos, l.region)? as u32;
+    dev.consume(Op::Branch)?;
+    if j >= in_n {
+        // Finishing pass: shift + per-output bias into the output buffer.
+        let from = if (in_n - 1) % 2 == 0 {
+            m.plane_a
+        } else {
+            m.plane_b
+        };
+        let mut o = load_ctl(dev, l.idx, l.region)? as u32;
+        dev.set_context(l.region, Phase::Kernel);
+        while o < out_n {
+            let partial = Accum::from_q15(dev.read(from, o)?);
+            let b = dev.read(*bias, o)?;
+            charge_finish(dev)?;
+            dev.write(dst, o, finish_acc(partial, *shift, b))?;
+            o += 1;
+            store_ctl(dev, l.idx, o as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
+        store_ctl(dev, l.idx, 0, l.region)?;
+        store_ctl(dev, l.pos, 0, l.region)?;
+        return Ok(next);
+    }
+
+    // Apply input element j to every output partial.
+    dev.set_context(l.region, Phase::Control);
+    let x = dev.read(src, j)?;
+    let (dest, inter) = if j % 2 == 0 {
+        (m.plane_a, m.plane_b)
+    } else {
+        (m.plane_b, m.plane_a)
+    };
+    let mut o = load_ctl(dev, l.idx, l.region)? as u32;
+    dev.set_context(l.region, Phase::Kernel);
+    while o < out_n {
+        dev.consume(Op::Alu)?;
+        let wq = dev.read(*weights, o * in_n + j)?;
+        dev.consume(Op::FxpMul)?;
+        let prod = x * wq;
+        let v = if j == 0 {
+            prod
+        } else {
+            dev.consume(Op::FxpAdd)?;
+            dev.read(inter, o)? + prod
+        };
+        dev.write(dest, o, v)?;
+        o += 1;
+        store_ctl(dev, l.idx, o as u16, l.region)?;
+        dev.set_context(l.region, Phase::Kernel);
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+        dev.mark_progress();
+    }
+    store_ctl(dev, l.idx, 0, l.region)?;
+    store_ctl(dev, l.pos, (j + 1) as u16, l.region)?;
+    Ok(Transition::To(self_id))
+}
+
+const STAGE_ZERO: u16 = 0;
+const STAGE_ACCUM: u16 = 1;
+const STAGE_FINISH: u16 = 2;
+
+/// Sparse-FC state machine packed into ONE 16-bit word so every stage
+/// transition is a single (atomic) FRAM word write. Range encoding keeps
+/// the full u16 range available:
+///
+/// - `[0, out_n)`               → ZERO pass at index `state`
+/// - `[out_n, out_n + nnz]`     → ACCUM at `k = state - out_n`
+///   (the `+ nnz` endpoint means "accumulation finished")
+/// - `(out_n + nnz, …]`         → FINISH at `state - out_n - nnz - 1`
+#[derive(Clone, Copy)]
+struct SparseState {
+    out_n: u32,
+    nnz: u32,
+}
+
+impl SparseState {
+    fn unpack(self, state: u16) -> (u16, u32) {
+        let s = state as u32;
+        if s < self.out_n {
+            (STAGE_ZERO, s)
+        } else if s <= self.out_n + self.nnz {
+            (STAGE_ACCUM, s - self.out_n)
+        } else {
+            (STAGE_FINISH, s - self.out_n - self.nnz - 1)
+        }
+    }
+
+    fn pack(self, stage: u16, idx: u32) -> u16 {
+        let v = match stage {
+            STAGE_ZERO => idx,
+            STAGE_ACCUM => self.out_n + idx,
+            _ => self.out_n + self.nnz + 1 + idx,
+        };
+        debug_assert!(v <= u16::MAX as u32);
+        v as u16
+    }
+}
+
+/// Sparse fully-connected layers: in-place scatter accumulation protected
+/// by sparse undo-logging (§6.2.2).
+#[allow(clippy::too_many_lines)]
+pub(crate) fn sparse_dense_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    self_id: usize,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let DeployedKind::Dense {
+        dims,
+        sparse,
+        bias,
+        shift,
+        ..
+    } = &l.kind
+    else {
+        unreachable!("sparse_dense_task on non-dense")
+    };
+    let (col_ptr, entries) = sparse.as_ref().expect("sparse layer");
+    let [out_n, in_n] = *dims;
+    let nnz = entries.len() / 2;
+    let st = SparseState { out_n, nnz };
+    assert!(
+        nnz + 2 * out_n + 2 <= u16::MAX as u32,
+        "sparse layer exceeds the one-word state range"
+    );
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+    let acc_plane = m.plane_a;
+
+    let state = load_ctl(dev, l.idx, l.region)?;
+    let (stage, idx) = st.unpack(state);
+    dev.consume(Op::Branch)?;
+
+    match stage {
+        STAGE_ZERO => {
+            // Zero the accumulation plane (idempotent writes of zero).
+            let mut i = idx;
+            dev.set_context(l.region, Phase::Kernel);
+            while i < out_n {
+                dev.write(acc_plane, i, Q15::ZERO)?;
+                i += 1;
+                // Clamp so the zero pass cannot roll into ACCUM before the
+                // column cache (`pos`) is reset below; re-zeroing the last
+                // element on resume is idempotent.
+                store_ctl(dev, l.idx, st.pack(STAGE_ZERO, i.min(out_n - 1)), l.region)?;
+                dev.set_context(l.region, Phase::Kernel);
+                dev.consume(Op::Incr)?;
+                dev.consume(Op::Branch)?;
+                dev.mark_progress();
+            }
+            // Reset the column cache BEFORE the atomic stage transition:
+            // ACCUM must never start with a stale (too-advanced) cache.
+            store_ctl(dev, l.pos, 0, l.region)?;
+            store_ctl(dev, l.idx, st.pack(STAGE_ACCUM, 0), l.region)?;
+            Ok(Transition::To(self_id))
+        }
+        STAGE_ACCUM => {
+            let mut k = idx;
+            // Undo check: if the saved tag matches the current iteration,
+            // the in-place update may have landed — restore and redo.
+            let tag = load_ctl(dev, l.undo_tag, l.region)?;
+            dev.consume(Op::Branch)?;
+            if tag as u32 == k && k < nnz {
+                let saved = load_ctl(dev, l.undo_val, l.region)?;
+                let o = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
+                dev.write(acc_plane, o, Q15::from_raw(saved as i16))?;
+            }
+            // Recover the cached column; `pos` may lag (it is only a
+            // cache), so advance it until it covers k.
+            let mut j = load_ctl(dev, l.pos, l.region)? as u32;
+            dev.set_context(l.region, Phase::Control);
+            while j < in_n && (dev.read(*col_ptr, j + 1)?.raw() as u16 as u32) <= k {
+                dev.consume(Op::Incr)?;
+                j += 1;
+            }
+            let mut x = if j < in_n { dev.read(src, j)? } else { Q15::ZERO };
+            dev.set_context(l.region, Phase::Kernel);
+            while k < nnz {
+                // Column advance (amortized: once per input element).
+                dev.consume(Op::Branch)?;
+                while (dev.read(*col_ptr, j + 1)?.raw() as u16 as u32) <= k {
+                    j += 1;
+                    store_ctl(dev, l.pos, j as u16, l.region)?;
+                    x = dev.read(src, j)?;
+                    dev.set_context(l.region, Phase::Kernel);
+                }
+                let o = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
+                let wq = dev.read(*entries, 2 * k + 1)?;
+                let val = dev.read(acc_plane, o)?;
+                // Two-phase undo log: save value, then tag (word-atomic).
+                // This is data buffering, not loop control — it stays in
+                // the kernel phase (the paper's Fig. 10 counts Alpaca's
+                // analogous dynamic buffering as kernel time).
+                dev.store_word(l.undo_val, val.raw() as u16)?;
+                dev.store_word(l.undo_tag, k as u16)?;
+                dev.consume(Op::FxpMul)?;
+                dev.consume(Op::FxpAdd)?;
+                dev.write(acc_plane, o, val + x * wq)?;
+                k += 1;
+                store_ctl(dev, l.idx, st.pack(STAGE_ACCUM, k), l.region)?;
+                dev.set_context(l.region, Phase::Kernel);
+                dev.consume(Op::Incr)?;
+                dev.consume(Op::Branch)?;
+                dev.mark_progress();
+            }
+            store_ctl(dev, l.idx, st.pack(STAGE_FINISH, 0), l.region)?;
+            store_ctl(dev, l.undo_tag, UNDO_EMPTY, l.region)?;
+            Ok(Transition::To(self_id))
+        }
+        _ => {
+            // Finish: shift + bias from the accumulation plane into the
+            // output buffer (disjoint read/write sets: idempotent).
+            let mut o = idx;
+            dev.set_context(l.region, Phase::Kernel);
+            while o < out_n {
+                let partial = Accum::from_q15(dev.read(acc_plane, o)?);
+                let b = dev.read(*bias, o)?;
+                charge_finish(dev)?;
+                dev.write(dst, o, finish_acc(partial, *shift, b))?;
+                o += 1;
+                store_ctl(dev, l.idx, st.pack(STAGE_FINISH, o), l.region)?;
+                dev.set_context(l.region, Phase::Kernel);
+                dev.consume(Op::Incr)?;
+                dev.consume(Op::Branch)?;
+                dev.mark_progress();
+            }
+            store_ctl(dev, l.idx, st.pack(STAGE_ZERO, 0), l.region)?;
+            store_ctl(dev, l.pos, 0, l.region)?;
+            Ok(next)
+        }
+    }
+}
+
+/// The §6.2.2 counterfactual: a sparse FC computed with plain
+/// loop-ordered buffering instead of sparse undo-logging. Each input
+/// column pass copies the *entire* partial output plane between the
+/// scratch buffers — "most of its time and energy copying unmodified
+/// activations between buffers" — which is exactly the waste sparse
+/// undo-logging exists to eliminate. Kept as an ablation.
+fn sparse_dense_loop_ordered_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    self_id: usize,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let DeployedKind::Dense {
+        dims,
+        sparse,
+        bias,
+        shift,
+        ..
+    } = &l.kind
+    else {
+        unreachable!("sparse_dense_loop_ordered_task on non-dense")
+    };
+    let (col_ptr, entries) = sparse.as_ref().expect("sparse layer");
+    let [out_n, in_n] = *dims;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+
+    let j = load_ctl(dev, l.pos, l.region)? as u32;
+    dev.consume(Op::Branch)?;
+    if j >= in_n {
+        // Finishing pass, identical to the dense layer's.
+        let from = if (in_n - 1) % 2 == 0 {
+            m.plane_a
+        } else {
+            m.plane_b
+        };
+        let mut o = load_ctl(dev, l.idx, l.region)? as u32;
+        dev.set_context(l.region, Phase::Kernel);
+        while o < out_n {
+            let partial = Accum::from_q15(dev.read(from, o)?);
+            let b = dev.read(*bias, o)?;
+            charge_finish(dev)?;
+            dev.write(dst, o, finish_acc(partial, *shift, b))?;
+            o += 1;
+            store_ctl(dev, l.idx, o as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
+        store_ctl(dev, l.idx, 0, l.region)?;
+        store_ctl(dev, l.pos, 0, l.region)?;
+        return Ok(next);
+    }
+
+    // Pass for input column j: dest[o] = inter[o] (+ column entries that
+    // hit o). Column entries are sorted by output row, so a volatile
+    // cursor recovered on task entry merges them in one sweep.
+    dev.set_context(l.region, Phase::Control);
+    let x = dev.read(src, j)?;
+    let (start, end) = (
+        dev.read(*col_ptr, j)?.raw() as u16 as u32,
+        dev.read(*col_ptr, j + 1)?.raw() as u16 as u32,
+    );
+    let (dest, inter) = if j % 2 == 0 {
+        (m.plane_a, m.plane_b)
+    } else {
+        (m.plane_b, m.plane_a)
+    };
+    let mut o = load_ctl(dev, l.idx, l.region)? as u32;
+    // Recover the entry cursor: count entries with row < o.
+    let mut k = start;
+    while k < end {
+        dev.consume(Op::Branch)?;
+        if (dev.read(*entries, 2 * k)?.raw() as u16 as u32) >= o {
+            break;
+        }
+        k += 1;
+    }
+    dev.set_context(l.region, Phase::Kernel);
+    while o < out_n {
+        let mut v = if j == 0 {
+            Q15::ZERO
+        } else {
+            dev.read(inter, o)?
+        };
+        dev.consume(Op::Branch)?;
+        if k < end {
+            let row = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
+            if row == o {
+                let wq = dev.read(*entries, 2 * k + 1)?;
+                dev.consume(Op::FxpMul)?;
+                dev.consume(Op::FxpAdd)?;
+                v = v + x * wq;
+                k += 1;
+            }
+        }
+        dev.write(dest, o, v)?;
+        o += 1;
+        store_ctl(dev, l.idx, o as u16, l.region)?;
+        dev.set_context(l.region, Phase::Kernel);
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+        dev.mark_progress();
+    }
+    store_ctl(dev, l.idx, 0, l.region)?;
+    store_ctl(dev, l.pos, (j + 1) as u16, l.region)?;
+    Ok(Transition::To(self_id))
+}
+
+/// Pool layer with loop continuation (write-only destination).
+pub(crate) fn pool_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let from = load_ctl(dev, l.idx, l.region)? as u32;
+    dev.set_context(l.region, Phase::Kernel);
+    pool_loop_continuation(dev, m, l, from)?;
+    store_ctl(dev, l.idx, 0, l.region)?;
+    Ok(next)
+}
+
+fn pool_loop_continuation(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    from: u32,
+) -> Result<(), PowerFailure> {
+    let DeployedKind::Pool { kh, kw } = l.kind else {
+        unreachable!("pool task on non-pool")
+    };
+    let [c, h, w] = l.in_shape;
+    let [_, oh, ow] = l.out_shape;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+    let mut o = from;
+    while o < c * oh * ow {
+        let ch = o / (oh * ow);
+        let oy = (o / ow) % oh;
+        let ox = o % ow;
+        let mut best = Q15::MIN;
+        for py in 0..kh {
+            for px in 0..kw {
+                dev.consume(Op::Alu)?;
+                let v = dev.read(src, (ch * h + oy * kh + py) * w + ox * kw + px)?;
+                dev.consume(Op::Branch)?;
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        dev.write(dst, o, best)?;
+        o += 1;
+        store_ctl(dev, l.idx, o as u16, l.region)?;
+        dev.set_context(l.region, Phase::Kernel);
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+        dev.mark_progress();
+    }
+    Ok(())
+}
+
+/// ReLU with loop continuation; in-place is safe because ReLU is
+/// idempotent.
+pub(crate) fn relu_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let [c, h, w] = l.in_shape;
+    let buf = m.buf(l.src);
+    let mut i = load_ctl(dev, l.idx, l.region)? as u32;
+    dev.set_context(l.region, Phase::Kernel);
+    while i < c * h * w {
+        let v = dev.read(buf, i)?;
+        dev.consume(Op::Branch)?;
+        dev.write(buf, i, v.relu())?;
+        i += 1;
+        store_ctl(dev, l.idx, i as u16, l.region)?;
+        dev.set_context(l.region, Phase::Kernel);
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+        dev.mark_progress();
+    }
+    store_ctl(dev, l.idx, 0, l.region)?;
+    Ok(next)
+}
+
+/// SONIC build options (ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SonicOptions {
+    /// Use sparse undo-logging for sparse FC layers (the paper's design);
+    /// `false` falls back to plain loop-ordered buffering, which wastes
+    /// energy copying unmodified activations (§6.2.2's argument).
+    pub sparse_undo_logging: bool,
+}
+
+impl Default for SonicOptions {
+    fn default() -> Self {
+        SonicOptions {
+            sparse_undo_logging: true,
+        }
+    }
+}
+
+/// Builds the SONIC task graph: one self-transitioning task per layer.
+pub fn build(m: &DeployedModel) -> TaskGraph<()> {
+    build_opts(m, SonicOptions::default())
+}
+
+/// Builds the SONIC task graph with explicit options.
+pub fn build_opts(m: &DeployedModel, opts: SonicOptions) -> TaskGraph<()> {
+    let mut g: TaskGraph<()> = TaskGraph::new();
+    let n = m.layers.len();
+    for (li, l) in m.layers.iter().enumerate() {
+        let self_id = li;
+        let next = if li + 1 < n {
+            Transition::To(li + 1)
+        } else {
+            Transition::Done
+        };
+        let m = m.clone();
+        let name = format!("sonic-{}", layer_name(l));
+        g.add(&name, move |dev, _| {
+            let l = &m.layers[li];
+            match &l.kind {
+                DeployedKind::Conv { .. } => conv_task(dev, &m, l, self_id, next),
+                DeployedKind::Dense { sparse, .. } => {
+                    if sparse.is_some() {
+                        if opts.sparse_undo_logging {
+                            sparse_dense_task(dev, &m, l, self_id, next)
+                        } else {
+                            sparse_dense_loop_ordered_task(dev, &m, l, self_id, next)
+                        }
+                    } else {
+                        dense_task(dev, &m, l, self_id, next)
+                    }
+                }
+                DeployedKind::Pool { .. } => pool_task(dev, &m, l, next),
+                DeployedKind::Relu => relu_task(dev, &m, l, next),
+                DeployedKind::Flatten => Ok(next),
+            }
+        });
+    }
+    if n == 0 {
+        g.add("sonic-empty", |_, _| Ok(Transition::Done));
+    }
+    g
+}
+
+fn layer_name(l: &DeployedLayer) -> &'static str {
+    match l.kind {
+        DeployedKind::Conv { .. } => "conv",
+        DeployedKind::Dense { .. } => "dense",
+        DeployedKind::Pool { .. } => "pool",
+        DeployedKind::Relu => "relu",
+        DeployedKind::Flatten => "flatten",
+    }
+}

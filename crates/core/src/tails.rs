@@ -1,0 +1,568 @@
+//! TAILS: tile-accelerated intermittent LEA support (paper §7).
+//!
+//! TAILS keeps all of SONIC's intermittence machinery and swaps the
+//! compute kernels for hardware-accelerated ones:
+//!
+//! - **One-time calibration** (§7.1): before the first inference a
+//!   recursive calibration task finds the largest tile that survives a
+//!   DMA-in → LEA FIR → DMA-out round trip on the device's energy buffer,
+//!   halving the candidate on every power failure. The result is stored in
+//!   FRAM and reused forever after.
+//! - **Convolutions** (§7.2): decomposed into 1-D FIR discrete-time
+//!   convolutions over rows. Each (filter, channel, kernel-row) group DMAs
+//!   the padded-dense tap row and input row segments into the 4 KB SRAM,
+//!   bit-shifts the activations *in software* (LEA has no vector
+//!   left-shift), runs FIR on LEA, accumulates against the previous
+//!   partial plane, and DMAs the result to the inactive scratch plane —
+//!   loop-ordered buffering, so everything stays idempotent.
+//! - **Dense fully-connected layers**: LEA vector-MAC over
+//!   calibration-sized chunks of each weight row.
+//! - **Sparse filters** are padded with zeros (reading the dense weight
+//!   array), which wastes LEA work exactly as the paper observes; sparse
+//!   fully-connected layers fall back to SONIC's software path (§7.2).
+//!
+//! The `use_lea` / `use_dma` switches reproduce the paper's ablation
+//! ("LEA consistently improved performance by 1.4×, while DMA improved it
+//! by 14%").
+
+use crate::baseline::charge_finish;
+use crate::deploy::{DeployedKind, DeployedLayer, DeployedModel};
+use crate::sonic;
+use dnn::quant::finish_acc;
+use fxp::{Accum, Q15};
+use intermittent::task::{TaskGraph, Transition};
+use mcu::{Device, FramBuf, Op, Phase, PowerFailure, SramBuf};
+
+/// Hardware usage switches (both `true` for real TAILS; ablations flip
+/// them to software emulations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TailsConfig {
+    /// Use the LEA vector unit (otherwise software loops over SRAM).
+    pub use_lea: bool,
+    /// Use DMA block transfer (otherwise CPU word-copy loops).
+    pub use_dma: bool,
+}
+
+impl Default for TailsConfig {
+    fn default() -> Self {
+        TailsConfig {
+            use_lea: true,
+            use_dma: true,
+        }
+    }
+}
+
+/// Initial calibration candidate (words); also the tile cap.
+pub const CALIB_INITIAL: u16 = 512;
+/// Smallest tile calibration will accept.
+pub const CALIB_MIN: u16 = 8;
+
+/// SRAM working set used by the TAILS kernels.
+#[derive(Clone, Copy, Debug)]
+struct SramBufs {
+    src: SramBuf,
+    taps: SramBuf,
+    out: SramBuf,
+    inter: SramBuf,
+}
+
+fn alloc_sram(dev: &mut Device) -> SramBufs {
+    // 512*3 + 64 words = ~3.2 KB of the 4 KB SRAM; allocation is
+    // link-time and panics only on a mis-sized device spec.
+    let cap = CALIB_INITIAL as u32;
+    SramBufs {
+        src: dev.sram_alloc(cap + 64).expect("SRAM src buffer"),
+        taps: dev.sram_alloc(64).expect("SRAM taps buffer"),
+        out: dev.sram_alloc(cap).expect("SRAM out buffer"),
+        inter: dev.sram_alloc(cap).expect("SRAM inter buffer"),
+    }
+}
+
+/// Copies FRAM → SRAM by DMA or CPU loop depending on config.
+fn stage_in(
+    dev: &mut Device,
+    cfg: TailsConfig,
+    src: FramBuf,
+    dst: SramBuf,
+) -> Result<(), PowerFailure> {
+    if cfg.use_dma {
+        dev.dma_fram_to_sram(src, dst)
+    } else {
+        for i in 0..src.len() {
+            let v = dev.read(src, i)?;
+            dev.sram_write(dst, i, v)?;
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+        }
+        Ok(())
+    }
+}
+
+/// Copies SRAM → FRAM by DMA or CPU loop depending on config.
+fn stage_out(
+    dev: &mut Device,
+    cfg: TailsConfig,
+    src: SramBuf,
+    dst: FramBuf,
+) -> Result<(), PowerFailure> {
+    if cfg.use_dma {
+        dev.dma_sram_to_fram(src, dst)
+    } else {
+        for i in 0..src.len() {
+            let v = dev.sram_read(src, i)?;
+            dev.write(dst, i, v)?;
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+        }
+        Ok(())
+    }
+}
+
+/// The software left-shift pass LEA cannot do (charged to the control
+/// phase: "these shifts account for most of the control time", §9.2).
+fn software_shift(
+    dev: &mut Device,
+    buf: SramBuf,
+    n: u32,
+    region: mcu::RegionId,
+) -> Result<(), PowerFailure> {
+    dev.set_context(region, Phase::Control);
+    for i in 0..n {
+        let v = dev.sram_read(buf, i)?;
+        dev.consume(Op::Alu)?;
+        dev.sram_write(buf, i, v)?;
+    }
+    Ok(())
+}
+
+/// FIR over SRAM: LEA or the software emulation.
+fn fir(
+    dev: &mut Device,
+    cfg: TailsConfig,
+    src: SramBuf,
+    taps: SramBuf,
+    out: SramBuf,
+) -> Result<(), PowerFailure> {
+    if cfg.use_lea {
+        dev.lea_fir(src, taps, out)
+    } else {
+        let n = src.len() - taps.len() + 1;
+        let t: Vec<Q15> = (0..taps.len())
+            .map(|i| dev.sram_read(taps, i))
+            .collect::<Result<_, _>>()?;
+        for i in 0..n {
+            let mut acc = Accum::ZERO;
+            for (j, tq) in t.iter().enumerate() {
+                let s = dev.sram_read(src, i + j as u32)?;
+                dev.consume(Op::FxpMul)?;
+                dev.consume(Op::FxpAdd)?;
+                acc.mac(s, *tq);
+            }
+            dev.sram_write(out, i, acc.to_q15())?;
+        }
+        Ok(())
+    }
+}
+
+/// Vector dot over SRAM: LEA or the software emulation.
+fn dot(
+    dev: &mut Device,
+    cfg: TailsConfig,
+    a: SramBuf,
+    b: SramBuf,
+) -> Result<Accum, PowerFailure> {
+    if cfg.use_lea {
+        dev.lea_dot(a, b)
+    } else {
+        let mut acc = Accum::ZERO;
+        for i in 0..a.len() {
+            let x = dev.sram_read(a, i)?;
+            let y = dev.sram_read(b, i)?;
+            dev.consume(Op::FxpMul)?;
+            dev.consume(Op::FxpAdd)?;
+            acc.mac(x, y);
+        }
+        Ok(acc)
+    }
+}
+
+/// Element-wise SRAM add (partial-plane accumulation), charged as LEA MACs
+/// when the accelerator is on.
+fn vec_add(
+    dev: &mut Device,
+    cfg: TailsConfig,
+    dst: SramBuf,
+    src: SramBuf,
+    n: u32,
+) -> Result<(), PowerFailure> {
+    if cfg.use_lea {
+        // Chained onto the preceding FIR command: no fresh setup.
+        dev.consume_n(Op::LeaMac, n as u64)?;
+        // Both operands are staged in SRAM; LEA reads them internally
+        // (charged above), so the arithmetic uses the host view.
+        let a = dev.sram_peek(dst.slice(0, n));
+        let b = dev.sram_peek(src.slice(0, n));
+        for i in 0..n {
+            dev.sram_write(dst, i, a[i as usize] + b[i as usize])?;
+        }
+        Ok(())
+    } else {
+        for i in 0..n {
+            let a = dev.sram_read(dst, i)?;
+            let b = dev.sram_read(src, i)?;
+            dev.consume(Op::FxpAdd)?;
+            dev.sram_write(dst, i, a + b)?;
+        }
+        Ok(())
+    }
+}
+
+/// The one-time calibration task (§7.1).
+fn calibrate_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    sram: SramBufs,
+    cfg: TailsConfig,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    dev.set_context(m.other_region, Phase::Control);
+    let done = dev.load_word(m.calib)?;
+    dev.consume(Op::Branch)?;
+    if done != 0 {
+        return Ok(next);
+    }
+    // Halve the candidate on every re-entry (a re-entry with calib still
+    // unset means the previous attempt browned out).
+    let prev = dev.load_word(m.calib_cand)?;
+    let cand = if prev == 0 {
+        CALIB_INITIAL
+    } else {
+        (prev / 2).max(CALIB_MIN)
+    };
+    dev.store_word(m.calib_cand, cand)?;
+
+    // Probe: one full DMA-in → FIR → DMA-out round trip at `cand` words.
+    let n = cand as u32;
+    let probe_src = m.plane_a.slice(0, n.min(m.plane_a.len()));
+    let probe_n = probe_src.len();
+    stage_in(dev, cfg, probe_src, sram.src.slice(0, probe_n))?;
+    for i in 0..8u32 {
+        dev.sram_write(sram.taps, i, Q15::HALF)?;
+    }
+    fir(
+        dev,
+        cfg,
+        sram.src.slice(0, probe_n),
+        sram.taps.slice(0, 8.min(probe_n)),
+        sram.out.slice(0, probe_n - 8.min(probe_n) + 1),
+    )?;
+    stage_out(
+        dev,
+        cfg,
+        sram.out.slice(0, probe_n - 8.min(probe_n) + 1),
+        m.plane_b.slice(0, probe_n - 8.min(probe_n) + 1),
+    )?;
+
+    dev.store_word(m.calib, cand)?;
+    Ok(next)
+}
+
+/// TAILS convolution: per (filter, channel, kernel-row) FIR groups with
+/// loop continuation over output rows.
+#[allow(clippy::too_many_lines)]
+fn conv_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    sram: SramBufs,
+    cfg: TailsConfig,
+    self_id: usize,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let DeployedKind::Conv {
+        dims,
+        weights,
+        bias,
+        shift,
+        ..
+    } = &l.kind
+    else {
+        unreachable!("conv_task on non-conv")
+    };
+    let [nf, nc, kh, kw] = *dims;
+    let [_, h, w_in] = l.in_shape;
+    let [_, oh, ow] = l.out_shape;
+    let plane = oh * ow;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+    let groups = nc * kh; // one FIR tap-row per (channel, kernel-row)
+
+    dev.set_context(l.region, Phase::Control);
+    let f = dev.load_word(l.filt)? as u32;
+    dev.consume(Op::Branch)?;
+    if f >= nf {
+        dev.store_word(l.filt, 0)?;
+        return Ok(next);
+    }
+    let g = dev.load_word(l.pos)? as u32;
+    dev.consume(Op::Branch)?;
+
+    if g >= groups {
+        // Finishing pass for filter f (software, like SONIC).
+        let b = dev.read(*bias, f)?;
+        let from_plane = if (groups - 1) % 2 == 0 {
+            m.plane_a
+        } else {
+            m.plane_b
+        };
+        let mut j = dev.load_word(l.idx)? as u32;
+        dev.set_context(l.region, Phase::Kernel);
+        while j < plane {
+            let partial = Accum::from_q15(dev.read(from_plane, j)?);
+            charge_finish(dev)?;
+            dev.write(dst, f * plane + j, finish_acc(partial, *shift, b))?;
+            j += 1;
+            dev.set_context(l.region, Phase::Control);
+            dev.store_word(l.idx, j as u16)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
+        dev.set_context(l.region, Phase::Control);
+        dev.store_word(l.idx, 0)?;
+        dev.store_word(l.pos, 0)?;
+        dev.store_word(l.filt, (f + 1) as u16)?;
+        return Ok(Transition::To(self_id));
+    }
+
+    // Group g = (channel c, kernel row ky): stage the padded-dense tap
+    // row (zero-padding sparse filters costs dense reads, §7.2).
+    let c = g / kh;
+    let ky = g % kh;
+    let (dest, inter) = if g % 2 == 0 {
+        (m.plane_a, m.plane_b)
+    } else {
+        (m.plane_b, m.plane_a)
+    };
+    stage_in(
+        dev,
+        cfg,
+        weights.slice(((f * nc + c) * kh + ky) * kw, kw),
+        sram.taps.slice(0, kw),
+    )?;
+    // Zero-padded sparse rows: when every tap in this row is zero (the
+    // common case in pruned filters), the FIR would contribute nothing.
+    // Pass the partials through with a plain copy instead — parity still
+    // advances, so loop-ordered buffering stays intact.
+    let all_zero = dev.sram_peek(sram.taps.slice(0, kw)).iter().all(|q| q.is_zero());
+    dev.consume(Op::Branch)?;
+    if all_zero {
+        let mut oy = dev.load_word(l.idx)? as u32;
+        dev.set_context(l.region, Phase::Kernel);
+        while oy < oh {
+            if g > 0 {
+                stage_in(dev, cfg, inter.slice(oy * ow, ow), sram.out.slice(0, ow))?;
+            } else {
+                for i in 0..ow {
+                    dev.sram_write(sram.out, i, Q15::ZERO)?;
+                }
+            }
+            stage_out(dev, cfg, sram.out.slice(0, ow), dest.slice(oy * ow, ow))?;
+            oy += 1;
+            dev.set_context(l.region, Phase::Control);
+            dev.store_word(l.idx, oy as u16)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
+        dev.set_context(l.region, Phase::Control);
+        dev.store_word(l.idx, 0)?;
+        dev.store_word(l.pos, (g + 1) as u16)?;
+        return Ok(Transition::To(self_id));
+    }
+    // LEA cannot left-shift: pre-shift taps in software.
+    software_shift(dev, sram.taps.slice(0, kw), kw, l.region)?;
+
+    let mut oy = dev.load_word(l.idx)? as u32;
+    dev.set_context(l.region, Phase::Kernel);
+    while oy < oh {
+        // Stage the input row (w_in words, giving ow FIR outputs).
+        let src_row = src.slice((c * h + oy + ky) * w_in, w_in);
+        stage_in(dev, cfg, src_row, sram.src.slice(0, w_in))?;
+        software_shift(dev, sram.src.slice(0, w_in), w_in, l.region)?;
+        dev.set_context(l.region, Phase::Kernel);
+        fir(
+            dev,
+            cfg,
+            sram.src.slice(0, w_in),
+            sram.taps.slice(0, kw),
+            sram.out.slice(0, ow),
+        )?;
+        if g > 0 {
+            stage_in(dev, cfg, inter.slice(oy * ow, ow), sram.inter.slice(0, ow))?;
+            vec_add(dev, cfg, sram.out.slice(0, ow), sram.inter.slice(0, ow), ow)?;
+        }
+        // Write the new partial row to the inactive plane (idempotent).
+        stage_out(dev, cfg, sram.out.slice(0, ow), dest.slice(oy * ow, ow))?;
+        oy += 1;
+        dev.set_context(l.region, Phase::Control);
+        dev.store_word(l.idx, oy as u16)?;
+        dev.set_context(l.region, Phase::Kernel);
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+        dev.mark_progress();
+    }
+    dev.set_context(l.region, Phase::Control);
+    dev.store_word(l.idx, 0)?;
+    dev.store_word(l.pos, (g + 1) as u16)?;
+    Ok(Transition::To(self_id))
+}
+
+/// TAILS dense fully-connected layer: LEA vector MAC over
+/// calibration-sized chunks, loop-ordered across chunks.
+fn dense_task(
+    dev: &mut Device,
+    m: &DeployedModel,
+    l: &DeployedLayer,
+    sram: SramBufs,
+    cfg: TailsConfig,
+    self_id: usize,
+    next: Transition,
+) -> Result<Transition, PowerFailure> {
+    let DeployedKind::Dense {
+        dims,
+        weights,
+        bias,
+        shift,
+        ..
+    } = &l.kind
+    else {
+        unreachable!("dense_task on non-dense")
+    };
+    let [out_n, in_n] = *dims;
+    let src = m.buf(l.src);
+    let dst = m.buf(l.dst);
+
+    dev.set_context(l.region, Phase::Control);
+    let tile = (dev.load_word(m.calib)?.max(CALIB_MIN) as u32).min(CALIB_INITIAL as u32);
+    let nchunks = in_n.div_ceil(tile);
+    let ci = dev.load_word(l.pos)? as u32;
+    dev.consume(Op::Branch)?;
+
+    if ci >= nchunks {
+        // Finishing pass.
+        let from = if (nchunks - 1) % 2 == 0 {
+            m.plane_a
+        } else {
+            m.plane_b
+        };
+        let mut o = dev.load_word(l.idx)? as u32;
+        dev.set_context(l.region, Phase::Kernel);
+        while o < out_n {
+            let partial = Accum::from_q15(dev.read(from, o)?);
+            let b = dev.read(*bias, o)?;
+            charge_finish(dev)?;
+            dev.write(dst, o, finish_acc(partial, *shift, b))?;
+            o += 1;
+            dev.set_context(l.region, Phase::Control);
+            dev.store_word(l.idx, o as u16)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
+        dev.set_context(l.region, Phase::Control);
+        dev.store_word(l.idx, 0)?;
+        dev.store_word(l.pos, 0)?;
+        return Ok(next);
+    }
+
+    // Chunk ci of the inputs, applied to every output's partial.
+    let base = ci * tile;
+    let n = tile.min(in_n - base);
+    stage_in(dev, cfg, src.slice(base, n), sram.src.slice(0, n))?;
+    software_shift(dev, sram.src.slice(0, n), n, l.region)?;
+    let (dest, inter) = if ci % 2 == 0 {
+        (m.plane_a, m.plane_b)
+    } else {
+        (m.plane_b, m.plane_a)
+    };
+    let mut o = dev.load_word(l.idx)? as u32;
+    dev.set_context(l.region, Phase::Kernel);
+    while o < out_n {
+        // The weight-row chunk stages into the (tile-sized) inter buffer.
+        stage_in(
+            dev,
+            cfg,
+            weights.slice(o * in_n + base, n),
+            sram.inter.slice(0, n),
+        )?;
+        let acc = dot(dev, cfg, sram.src.slice(0, n), sram.inter.slice(0, n))?;
+        let prod = acc.to_q15();
+        let v = if ci == 0 {
+            prod
+        } else {
+            dev.consume(Op::FxpAdd)?;
+            dev.read(inter, o)? + prod
+        };
+        dev.write(dest, o, v)?;
+        o += 1;
+        dev.set_context(l.region, Phase::Control);
+        dev.store_word(l.idx, o as u16)?;
+        dev.set_context(l.region, Phase::Kernel);
+        dev.consume(Op::Incr)?;
+        dev.consume(Op::Branch)?;
+        dev.mark_progress();
+    }
+    dev.set_context(l.region, Phase::Control);
+    dev.store_word(l.idx, 0)?;
+    dev.store_word(l.pos, (ci + 1) as u16)?;
+    Ok(Transition::To(self_id))
+}
+
+/// Builds the TAILS task graph: calibration first, then one task per
+/// layer; sparse FC, pooling, and ReLU reuse SONIC's software tasks.
+pub fn build(m: &DeployedModel, cfg: TailsConfig, dev: &mut Device) -> TaskGraph<()> {
+    let sram = alloc_sram(dev);
+    let mut g: TaskGraph<()> = TaskGraph::new();
+    let n = m.layers.len();
+    // Task 0: calibration.
+    {
+        let m = m.clone();
+        let next = if n > 0 { Transition::To(1) } else { Transition::Done };
+        g.add("tails-calibrate", move |dev, _| {
+            calibrate_task(dev, &m, sram, cfg, next)
+        });
+    }
+    for (li, l) in m.layers.iter().enumerate() {
+        let self_id = li + 1;
+        let next = if li + 1 < n {
+            Transition::To(self_id + 1)
+        } else {
+            Transition::Done
+        };
+        let m = m.clone();
+        let name = format!("tails-layer{li}");
+        let is_sparse_dense = matches!(
+            &l.kind,
+            DeployedKind::Dense { sparse: Some(_), .. }
+        );
+        g.add(&name, move |dev, _| {
+            let l = &m.layers[li];
+            match &l.kind {
+                DeployedKind::Conv { .. } => conv_task(dev, &m, l, sram, cfg, self_id, next),
+                DeployedKind::Dense { .. } if is_sparse_dense => {
+                    // §7.2: sparse FC stays in software, exactly like SONIC.
+                    sonic::sparse_dense_task(dev, &m, l, self_id, next)
+                }
+                DeployedKind::Dense { .. } => dense_task(dev, &m, l, sram, cfg, self_id, next),
+                DeployedKind::Pool { .. } => sonic::pool_task(dev, &m, l, next),
+                DeployedKind::Relu => sonic::relu_task(dev, &m, l, next),
+                DeployedKind::Flatten => Ok(next),
+            }
+        });
+    }
+    g
+}

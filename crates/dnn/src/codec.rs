@@ -1,0 +1,326 @@
+//! A compact self-contained binary codec for trained models.
+//!
+//! Training the paper's networks takes minutes; the experiment harness
+//! caches trained models under `target/` so figures regenerate quickly.
+//! The format is deliberately simple (magic, version, layer records with
+//! little-endian `f32` payloads) to avoid pulling a serialization
+//! dependency into the public API.
+
+use crate::layers::Layer;
+use crate::model::Model;
+use crate::tensor::Tensor;
+use std::fmt;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SDNN";
+const VERSION: u8 = 1;
+
+const TAG_DENSE: u8 = 0;
+const TAG_CONV: u8 = 1;
+const TAG_POOL: u8 = 2;
+const TAG_RELU: u8 = 3;
+const TAG_FLATTEN: u8 = 4;
+
+/// Decoding failures.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The buffer does not start with the expected magic/version.
+    BadHeader,
+    /// An unknown layer tag was encountered.
+    BadTag(u8),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// An underlying I/O error (file helpers only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadHeader => f.write_str("bad model file header"),
+            CodecError::BadTag(t) => write!(f, "unknown layer tag {t}"),
+            CodecError::Truncated => f.write_str("model file truncated"),
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32s(&mut self, vs: &[f32]) {
+        self.u32(vs.len() as u32);
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let end = self.pos + 4;
+        let bytes = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, CodecError> {
+        let n = self.u32()? as usize;
+        let end = self.pos + 4 * n;
+        let bytes = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+/// Serializes a model to bytes.
+pub fn to_bytes(model: &Model) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(1024),
+    };
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.u32(model.layers().len() as u32);
+    for l in model.layers() {
+        match l {
+            Layer::Dense(d) => {
+                w.u8(TAG_DENSE);
+                w.u32(d.w.shape()[0] as u32);
+                w.u32(d.w.shape()[1] as u32);
+                w.f32s(d.w.data());
+                w.f32s(d.b.data());
+            }
+            Layer::Conv2d(c) => {
+                w.u8(TAG_CONV);
+                for &dim in c.filters.shape() {
+                    w.u32(dim as u32);
+                }
+                w.f32s(c.filters.data());
+                w.f32s(c.bias.data());
+            }
+            Layer::MaxPool2d(p) => {
+                w.u8(TAG_POOL);
+                w.u32(p.kh as u32);
+                w.u32(p.kw as u32);
+            }
+            Layer::Relu(_) => w.u8(TAG_RELU),
+            Layer::Flatten(_) => w.u8(TAG_FLATTEN),
+        }
+    }
+    w.buf
+}
+
+/// Deserializes a model from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for malformed input.
+pub fn from_bytes(bytes: &[u8]) -> Result<Model, CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let magic = bytes.get(..4).ok_or(CodecError::Truncated)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    r.pos = 4;
+    if r.u8()? != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    let n = r.u32()? as usize;
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.u8()? {
+            TAG_DENSE => {
+                let out = r.u32()? as usize;
+                let inp = r.u32()? as usize;
+                let wdata = r.f32s()?;
+                let bdata = r.f32s()?;
+                if wdata.len() != out * inp || bdata.len() != out {
+                    return Err(CodecError::Truncated);
+                }
+                layers.push(Layer::dense_from(
+                    Tensor::from_vec(vec![out, inp], wdata),
+                    Tensor::from_vec(vec![out], bdata),
+                ));
+            }
+            TAG_CONV => {
+                let f = r.u32()? as usize;
+                let c = r.u32()? as usize;
+                let kh = r.u32()? as usize;
+                let kw = r.u32()? as usize;
+                let fdata = r.f32s()?;
+                let bdata = r.f32s()?;
+                if fdata.len() != f * c * kh * kw || bdata.len() != f {
+                    return Err(CodecError::Truncated);
+                }
+                layers.push(Layer::conv2d_from(
+                    Tensor::from_vec(vec![f, c, kh, kw], fdata),
+                    Tensor::from_vec(vec![f], bdata),
+                ));
+            }
+            TAG_POOL => {
+                let kh = r.u32()? as usize;
+                let kw = r.u32()? as usize;
+                layers.push(Layer::maxpool_rect(kh, kw));
+            }
+            TAG_RELU => layers.push(Layer::relu()),
+            TAG_FLATTEN => layers.push(Layer::flatten()),
+            t => return Err(CodecError::BadTag(t)),
+        }
+    }
+    Ok(Model::new(layers))
+}
+
+/// Saves a model to a file.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on filesystem errors.
+pub fn save_file(model: &Model, path: &Path) -> Result<(), CodecError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_bytes(model))?;
+    Ok(())
+}
+
+/// Loads a model from a file.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on filesystem or format errors.
+pub fn load_file(path: &Path) -> Result<Model, CodecError> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_model() -> Model {
+        let mut r = rand::rngs::StdRng::seed_from_u64(17);
+        Model::new(vec![
+            Layer::conv2d(4, 1, 3, 3, &mut r),
+            Layer::relu(),
+            Layer::maxpool(2),
+            Layer::flatten(),
+            Layer::dense(4 * 3 * 3, 5, &mut r),
+        ])
+    }
+
+    fn models_equal(a: &Model, b: &Model) -> bool {
+        if a.layers().len() != b.layers().len() {
+            return false;
+        }
+        for (la, lb) in a.layers().iter().zip(b.layers()) {
+            match (la, lb) {
+                (Layer::Dense(x), Layer::Dense(y)) => {
+                    if x.w != y.w || x.b != y.b {
+                        return false;
+                    }
+                }
+                (Layer::Conv2d(x), Layer::Conv2d(y)) => {
+                    if x.filters != y.filters || x.bias != y.bias {
+                        return false;
+                    }
+                }
+                (Layer::MaxPool2d(x), Layer::MaxPool2d(y)) => {
+                    if x.kh != y.kh || x.kw != y.kw {
+                        return false;
+                    }
+                }
+                (Layer::Relu(_), Layer::Relu(_)) | (Layer::Flatten(_), Layer::Flatten(_)) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let m = sample_model();
+        let bytes = to_bytes(&m);
+        let back = from_bytes(&bytes).unwrap();
+        assert!(models_equal(&m, &back));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let m = sample_model();
+        let dir = std::env::temp_dir().join("sonic-tails-codec-test");
+        let path = dir.join("model.sdnn");
+        save_file(&m, &path).unwrap();
+        let back = load_file(&path).unwrap();
+        assert!(models_equal(&m, &back));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            from_bytes(b"XXXX\x01\x00\x00\x00\x00"),
+            Err(CodecError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = to_bytes(&sample_model());
+        for cut in [4usize, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut bytes = to_bytes(&sample_model());
+        // First tag byte lives right after magic(4) + version(1) + count(4).
+        bytes[9] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(CodecError::BadTag(99))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_file(Path::new("/nonexistent/nope.sdnn")).unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

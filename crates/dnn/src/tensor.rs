@@ -1,0 +1,223 @@
+//! Dense row-major `f32` tensors.
+
+use rand::Rng;
+use std::fmt;
+
+/// A dense tensor with row-major layout.
+///
+/// Shapes follow the (channels, height, width) convention for 3-D data;
+/// vectors are rank-1. All layer code works on flat slices plus explicit
+/// stride arithmetic, so `Tensor` stays deliberately small.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        let len = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let expect: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expect,
+            "data length {} != shape product {expect}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A tensor with elements drawn uniformly from `[-scale, scale]`.
+    pub fn uniform<R: Rng>(shape: Vec<usize>, scale: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has zero elements (shape with a zero dim).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let expect: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expect, "reshape changes element count");
+        self.shape = shape;
+        self
+    }
+
+    /// Element at a 3-D index (c, h, w).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-3 or the index is out of bounds.
+    #[inline]
+    pub fn at3(&self, c: usize, h: usize, w: usize) -> f32 {
+        assert_eq!(self.shape.len(), 3, "at3 requires a rank-3 tensor");
+        let (ch, hh, ww) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert!(c < ch && h < hh && w < ww, "index out of bounds");
+        self.data[(c * hh + h) * ww + w]
+    }
+
+    /// The index of the maximum element (ties to the lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Largest absolute value (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, ", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, "data={:?})", self.data)
+        } else {
+            write!(f, "data=[{} elems])", self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_has_correct_shape_and_len() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn at3_uses_row_major_strides() {
+        let t = Tensor::from_vec(vec![2, 2, 3], (0..12).map(|i| i as f32).collect());
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 1, 2), 5.0);
+        assert_eq!(t.at3(1, 0, 0), 6.0);
+        assert_eq!(t.at3(1, 1, 1), 10.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![6], (0..6).map(|i| i as f32).collect());
+        let r = t.reshape(vec![2, 3]);
+        assert_eq!(r.shape(), &[2, 3]);
+        assert_eq!(r.data()[4], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape changes element count")]
+    fn reshape_validates_count() {
+        let _ = Tensor::zeros(vec![4]).reshape(vec![5]);
+    }
+
+    #[test]
+    fn argmax_ties_to_lowest_index() {
+        let t = Tensor::from_vec(vec![4], vec![0.5, 2.0, 2.0, -1.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Tensor::uniform(vec![100], 0.3, &mut rng);
+        assert!(a.data().iter().all(|v| v.abs() <= 0.3));
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        let b = Tensor::uniform(vec![100], 0.3, &mut rng2);
+        assert_eq!(a, b, "seeded generation must be deterministic");
+    }
+
+    #[test]
+    fn max_abs_and_map() {
+        let mut t = Tensor::from_vec(vec![3], vec![-2.0, 0.5, 1.0]);
+        assert_eq!(t.max_abs(), 2.0);
+        t.map_inplace(|v| v * 0.5);
+        assert_eq!(t.data(), &[-1.0, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn debug_output_is_compact_for_large_tensors() {
+        let t = Tensor::zeros(vec![100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("100 elems"));
+    }
+}

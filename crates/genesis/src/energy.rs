@@ -1,0 +1,131 @@
+//! Per-configuration inference-energy estimation (paper §5.3: "the user
+//! specifies ... per-compute-operation energy cost. From these parameters,
+//! GENESIS estimates E_infer for each configuration").
+//!
+//! The estimate walks the quantized model, counts the operations its
+//! kernels will perform (loads, MACs, stores, loop control), and prices
+//! them with the device cost table. It deliberately mirrors the SONIC
+//! software kernels' inner loops so that estimated and measured energies
+//! track each other; the experiment harness cross-checks this against the
+//! full simulation.
+
+use dnn::quant::{QLayer, QModel};
+use mcu::{CostTable, Op};
+
+/// Estimated inference energy in millijoules for `qm` on a device with
+/// cost table `costs`.
+pub fn estimate_inference_mj(qm: &QModel, costs: &CostTable) -> f64 {
+    let mut pj: f64 = 0.0;
+    let price = |op: Op| -> f64 { costs.cost(op).energy_pj as f64 };
+    let mut shape = qm.input_shape.clone();
+    for l in &qm.layers {
+        let out_shape = l.output_shape(&shape);
+        let out_elems: usize = out_shape.iter().product();
+        match l {
+            QLayer::Conv(c) => {
+                let positions = (out_shape[1] * out_shape[2]) as f64;
+                let taps = match &c.sparse {
+                    Some(s) => s.taps.iter().map(Vec::len).sum::<usize>() as f64,
+                    None => (c.dims[0] * c.dims[1] * c.dims[2] * c.dims[3]) as f64,
+                };
+                let macs = taps * positions;
+                // Per MAC: weight + activation load, multiply, partial
+                // accumulate + store, loop control.
+                pj += macs
+                    * (2.0 * price(Op::FramRead)
+                        + price(Op::FxpMul)
+                        + price(Op::FxpAdd)
+                        + price(Op::FramWrite)
+                        + price(Op::Incr)
+                        + price(Op::Branch));
+                // Finishing pass: shift + bias + write per output element.
+                pj += out_elems as f64
+                    * (price(Op::FramRead) + 2.0 * price(Op::FxpAdd) + price(Op::FramWrite));
+            }
+            QLayer::Dense(d) => {
+                let macs = match &d.sparse {
+                    Some(s) => s.val.len() as f64,
+                    None => (d.dims[0] * d.dims[1]) as f64,
+                };
+                pj += macs
+                    * (2.0 * price(Op::FramRead)
+                        + price(Op::FxpMul)
+                        + price(Op::FxpAdd)
+                        + price(Op::Incr)
+                        + price(Op::Branch));
+                pj += out_elems as f64
+                    * (2.0 * price(Op::FxpAdd) + price(Op::FramWrite) + price(Op::FramRead));
+            }
+            QLayer::Pool(p) => {
+                let window = (p.kh * p.kw) as f64;
+                pj += out_elems as f64
+                    * (window * (price(Op::FramRead) + price(Op::Branch))
+                        + price(Op::FramWrite));
+            }
+            QLayer::Relu => {
+                pj += out_elems as f64
+                    * (price(Op::FramRead) + price(Op::Branch) + price(Op::FramWrite));
+            }
+            QLayer::Flatten => {}
+        }
+        shape = out_shape;
+    }
+    pj * 1e-9 // pJ -> mJ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::layers::Layer;
+    use dnn::model::Model;
+    use dnn::quant::quantize;
+    use dnn::tensor::Tensor;
+    use mcu::CostTable;
+    use rand::SeedableRng;
+
+    fn quantized(model: &mut Model, shape: &[usize]) -> QModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let calib: Vec<Tensor> = (0..2)
+            .map(|_| Tensor::uniform(shape.to_vec(), 0.9, &mut rng))
+            .collect();
+        quantize(model, shape, &calib)
+    }
+
+    #[test]
+    fn energy_is_positive_and_scales_with_macs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let costs = CostTable::msp430fr5994();
+        let mut small = Model::new(vec![Layer::dense(16, 4, &mut rng)]);
+        let mut big = Model::new(vec![Layer::dense(16, 64, &mut rng)]);
+        let e_small = estimate_inference_mj(&quantized(&mut small, &[16]), &costs);
+        let e_big = estimate_inference_mj(&quantized(&mut big, &[16]), &costs);
+        assert!(e_small > 0.0);
+        assert!(e_big > 4.0 * e_small, "16x MACs should cost much more");
+    }
+
+    #[test]
+    fn pruning_reduces_estimated_energy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let costs = CostTable::msp430fr5994();
+        let mut dense = Model::new(vec![Layer::dense(64, 32, &mut rng)]);
+        let e_dense = estimate_inference_mj(&quantized(&mut dense, &[64]), &costs);
+        let mut pruned = dense.clone();
+        crate::prune::prune_model(&mut pruned, &[0.1]);
+        let e_pruned = estimate_inference_mj(&quantized(&mut pruned, &[64]), &costs);
+        assert!(
+            e_pruned < e_dense / 2.0,
+            "10% density should cut energy: {e_pruned} vs {e_dense}"
+        );
+    }
+
+    #[test]
+    fn conv_energy_includes_position_reuse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let costs = CostTable::msp430fr5994();
+        let mut m = Model::new(vec![Layer::conv2d(2, 1, 3, 3, &mut rng)]);
+        let small_in = estimate_inference_mj(&quantized(&mut m, &[1, 5, 5]), &costs);
+        let mut m2 = Model::new(vec![Layer::conv2d(2, 1, 3, 3, &mut rng)]);
+        let big_in = estimate_inference_mj(&quantized(&mut m2, &[1, 11, 11]), &costs);
+        assert!(big_in > 5.0 * small_in, "9x positions should dominate");
+    }
+}

@@ -1,0 +1,214 @@
+//! The IMpJ application model: interesting messages per Joule (paper §3,
+//! Table 1, Eqs. 1–3).
+//!
+//! A sensing application spends energy on sensing (`E_sense`),
+//! communication (`E_comm`), and — with local inference — inference
+//! (`E_infer`). Only a fraction `p` of events is "interesting". The figure
+//! of merit is how many interesting messages the device sends per Joule of
+//! harvested energy:
+//!
+//! - **Baseline** (Eq. 1): every reading is transmitted:
+//!   `p / (E_sense + E_comm)`.
+//! - **Ideal** (Eq. 2): an oracle transmits only interesting readings:
+//!   `p / (E_sense + p·E_comm)`.
+//! - **Local inference** (Eq. 3): an imperfect classifier with true
+//!   positive rate `tp` and true negative rate `tn` gates communication:
+//!   `p·tp / ((E_sense + E_infer) + (p·tp + (1−p)(1−tn))·E_comm)`.
+//!
+//! Figs. 1 and 2 plug in the wildlife-monitoring case study's constants,
+//! which the presets below reproduce.
+
+/// Parameters of the application energy model (Table 1). Energies are in
+/// millijoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppModel {
+    /// Base rate of interesting events (`p`).
+    pub p: f64,
+    /// Energy to acquire one sensor reading, mJ (`E_sense`).
+    pub e_sense_mj: f64,
+    /// Energy to communicate one reading, mJ (`E_comm`).
+    pub e_comm_mj: f64,
+}
+
+/// The wildlife-monitoring case study of §3.2: hedgehogs are rare
+/// (`p = 0.05`), photos are cheap (10 mJ), OpenChirp transmission of an
+/// image is enormously expensive (23 000 mJ).
+pub const WILDLIFE: AppModel = AppModel {
+    p: 0.05,
+    e_sense_mj: 10.0,
+    e_comm_mj: 23_000.0,
+};
+
+/// §3.2 "sending only inference results": transmitting a detection flag
+/// instead of the image cuts `E_comm` by 98× for systems with local
+/// inference.
+pub const RESULT_ONLY_COMM_REDUCTION: f64 = 98.0;
+
+/// Measured inference energy of the naïve task-based implementation
+/// (Tile-8), mJ — the paper's `E_infer,naïve ≈ 198 mJ`.
+pub const E_INFER_NAIVE_MJ: f64 = 198.0;
+
+/// Measured inference energy of SONIC & TAILS, mJ — the paper's
+/// `E_infer,TAILS ≈ 26 mJ`.
+pub const E_INFER_TAILS_MJ: f64 = 26.0;
+
+impl AppModel {
+    /// Eq. 1 — IMpJ of the baseline that transmits everything.
+    pub fn baseline_impj(&self) -> f64 {
+        self.p / (self.e_sense_mj + self.e_comm_mj) * 1e3
+    }
+
+    /// Eq. 2 — IMpJ of the (unbuildable) oracle.
+    pub fn ideal_impj(&self) -> f64 {
+        self.p / (self.e_sense_mj + self.p * self.e_comm_mj) * 1e3
+    }
+
+    /// Eq. 3 — IMpJ with local inference costing `e_infer_mj` per reading,
+    /// with true-positive rate `tp` and true-negative rate `tn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` or `tn` lies outside `[0, 1]`.
+    pub fn inference_impj(&self, e_infer_mj: f64, tp: f64, tn: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&tp), "tp out of range");
+        assert!((0.0..=1.0).contains(&tn), "tn out of range");
+        let sent_rate = self.p * tp + (1.0 - self.p) * (1.0 - tn);
+        self.p * tp / ((self.e_sense_mj + e_infer_mj) + sent_rate * self.e_comm_mj) * 1e3
+    }
+
+    /// The model with `E_comm` reduced for sending results instead of
+    /// readings (§3.2).
+    pub fn with_result_only_comm(&self) -> AppModel {
+        AppModel {
+            e_comm_mj: self.e_comm_mj / RESULT_ONLY_COMM_REDUCTION,
+            ..*self
+        }
+    }
+}
+
+/// One row of the Fig. 1 / Fig. 2 sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ImpjPoint {
+    /// Classifier accuracy (tp = tn = accuracy, as in the figures).
+    pub accuracy: f64,
+    /// Always-send baseline (accuracy-independent).
+    pub baseline: f64,
+    /// Oracle upper bound (accuracy-independent).
+    pub ideal: f64,
+    /// Naïve local inference (`E_infer` = 198 mJ).
+    pub naive: f64,
+    /// SONIC & TAILS local inference (`E_infer` = 26 mJ).
+    pub sonic_tails: f64,
+}
+
+/// Sweeps accuracy from 0 to 1, reproducing the series of Fig. 1 (pass
+/// [`WILDLIFE`]) or Fig. 2 (pass a result-only model for the inference
+/// systems via `result_only = true`).
+pub fn sweep_accuracy(model: &AppModel, steps: usize, result_only: bool) -> Vec<ImpjPoint> {
+    let infer_model = if result_only {
+        model.with_result_only_comm()
+    } else {
+        *model
+    };
+    let ideal_model = if result_only {
+        // The oracle also sends only results in Fig. 2.
+        infer_model
+    } else {
+        *model
+    };
+    (0..=steps)
+        .map(|i| {
+            let acc = i as f64 / steps as f64;
+            ImpjPoint {
+                accuracy: acc,
+                baseline: model.baseline_impj(),
+                ideal: ideal_model.ideal_impj(),
+                naive: infer_model.inference_impj(E_INFER_NAIVE_MJ, acc, acc),
+                sonic_tails: infer_model.inference_impj(E_INFER_TAILS_MJ, acc, acc),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_beats_baseline_by_roughly_one_over_p() {
+        // §3.2: "local inference enables large end-to-end benefits on the
+        // order of 1/p = 20x".
+        let ratio = WILDLIFE.ideal_impj() / WILDLIFE.baseline_impj();
+        assert!(
+            (15.0..=21.0).contains(&ratio),
+            "ideal/baseline = {ratio}, expected ≈ 20"
+        );
+    }
+
+    #[test]
+    fn perfect_inference_approaches_ideal() {
+        let perfect = WILDLIFE.inference_impj(E_INFER_TAILS_MJ, 1.0, 1.0);
+        let ideal = WILDLIFE.ideal_impj();
+        assert!(perfect <= ideal);
+        assert!(perfect / ideal > 0.9, "{perfect} vs {ideal}");
+    }
+
+    #[test]
+    fn useless_inference_is_worse_than_baseline() {
+        // tn = 0 means everything is transmitted anyway, plus we paid for
+        // inference and missed (1 - tp) of the interesting events.
+        let useless = WILDLIFE.inference_impj(E_INFER_TAILS_MJ, 0.5, 0.0);
+        assert!(useless < WILDLIFE.baseline_impj());
+    }
+
+    #[test]
+    fn impj_increases_monotonically_with_accuracy() {
+        let pts = sweep_accuracy(&WILDLIFE, 20, false);
+        for w in pts.windows(2) {
+            assert!(w[1].sonic_tails >= w[0].sonic_tails);
+            assert!(w[1].naive >= w[0].naive);
+        }
+    }
+
+    #[test]
+    fn fig2_result_only_shows_the_paper_headline_ratios() {
+        // At ~99% accuracy (the MNIST point), the paper reports: S&T ≈ 480x
+        // baseline, ≈ 4.6x naïve, and ideal ≈ 2.2x S&T.
+        let pts = sweep_accuracy(&WILDLIFE, 100, true);
+        let at99 = &pts[99];
+        let vs_baseline = at99.sonic_tails / at99.baseline;
+        let vs_naive = at99.sonic_tails / at99.naive;
+        let ideal_gap = at99.ideal / at99.sonic_tails;
+        assert!(
+            (300.0..=700.0).contains(&vs_baseline),
+            "S&T/baseline = {vs_baseline}, paper ≈ 480"
+        );
+        assert!(
+            (3.0..=7.0).contains(&vs_naive),
+            "S&T/naive = {vs_naive}, paper ≈ 4.6"
+        );
+        assert!(
+            (1.5..=3.0).contains(&ideal_gap),
+            "ideal/S&T = {ideal_gap}, paper ≈ 2.2"
+        );
+    }
+
+    #[test]
+    fn fig1_full_image_gap_between_naive_and_tails_is_small() {
+        // §3.2: when sending whole images, communication dominates and
+        // "SONIC & TAILS outperforms Naive by up to 14%".
+        let pts = sweep_accuracy(&WILDLIFE, 100, false);
+        let at99 = &pts[99];
+        let gain = at99.sonic_tails / at99.naive;
+        assert!(
+            (1.0..=1.25).contains(&gain),
+            "S&T/naive full-image = {gain}, paper ≤ ~1.14"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tp out of range")]
+    fn rejects_invalid_rates() {
+        let _ = WILDLIFE.inference_impj(1.0, 1.5, 0.5);
+    }
+}

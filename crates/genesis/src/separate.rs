@@ -1,0 +1,478 @@
+//! Layer separation (low-rank factorization), paper §5.2.
+//!
+//! - A fully-connected `m×n` layer splits into `m×k` and `k×n` layers via
+//!   truncated SVD.
+//! - An `F×C×KH×KW` convolution splits into three 1-D convolutions
+//!   (Table 2's "3×1D Conv"): a vertical `[R1, C, KH, 1]`, a horizontal
+//!   `[R2, R1, 1, KW]`, and a pointwise `[F, R2, 1, 1]`. The factors are
+//!   fit with alternating least squares in the spirit of the high-order
+//!   orthogonal iteration (HOOI) the paper uses for its Tucker
+//!   decomposition: each factor is solved in closed form with the others
+//!   fixed, initialized from SVDs of tensor unfoldings. GENESIS re-trains
+//!   afterwards, so the fit only needs to be a good starting point.
+
+use crate::linalg::{solve, svd, Mat};
+use dnn::layers::Layer;
+use dnn::tensor::Tensor;
+
+/// Separates a dense layer `W (out×in)` into `out×k` and `k×in` factors
+/// via truncated SVD: `W ≈ (U_k Σ_k) · V_kᵀ`. The bias stays on the second
+/// (output) layer; the hidden layer is linear (no activation), as in
+/// rank-decomposition compression.
+///
+/// Returns `(hidden, output)` layers to be applied in that order.
+///
+/// # Panics
+///
+/// Panics if `layer` is not dense or `rank` is 0 or exceeds `min(out, in)`.
+pub fn separate_dense(layer: &Layer, rank: usize) -> (Layer, Layer) {
+    let d = match layer {
+        Layer::Dense(d) => d,
+        _ => panic!("separate_dense requires a dense layer"),
+    };
+    let (out, inp) = (d.w.shape()[0], d.w.shape()[1]);
+    assert!(rank > 0 && rank <= out.min(inp), "invalid rank {rank}");
+    let a = Mat::from_vec(
+        out,
+        inp,
+        d.w.data().iter().map(|&v| v as f64).collect(),
+    );
+    let dec = svd(&a);
+    // Hidden layer rows: Σ_k V_kᵀ (k × in); output layer: U_k (out × k).
+    let mut hidden = Tensor::zeros(vec![rank, inp]);
+    for r in 0..rank {
+        for c in 0..inp {
+            hidden.data_mut()[r * inp + c] = (dec.s[r] * dec.v.at(c, r)) as f32;
+        }
+    }
+    let mut output = Tensor::zeros(vec![out, rank]);
+    for r in 0..out {
+        for c in 0..rank {
+            output.data_mut()[r * rank + c] = dec.u.at(r, c) as f32;
+        }
+    }
+    (
+        Layer::dense_from(hidden, Tensor::zeros(vec![rank])),
+        Layer::dense_from(output, d.b.clone().reshape(vec![out])),
+    )
+}
+
+/// Result of a conv separation: the three 1-D convolution layers plus the
+/// final fit error (relative Frobenius norm).
+#[derive(Debug)]
+pub struct SeparatedConv {
+    /// Vertical `[R1, C, KH, 1]` convolution.
+    pub vertical: Layer,
+    /// Horizontal `[R2, R1, 1, KW]` convolution.
+    pub horizontal: Layer,
+    /// Pointwise `[F, R2, 1, 1]` convolution (carries the original bias).
+    pub pointwise: Layer,
+    /// `‖W − Ŵ‖_F / ‖W‖_F` of the fit before re-training.
+    pub rel_error: f64,
+}
+
+/// Separates a convolution into three 1-D convolutions with ranks
+/// `(r1, r2)` by HOOI-style alternating least squares.
+///
+/// # Panics
+///
+/// Panics if `layer` is not a convolution or the ranks are 0.
+pub fn separate_conv(layer: &Layer, r1: usize, r2: usize) -> SeparatedConv {
+    let conv = match layer {
+        Layer::Conv2d(c) => c,
+        _ => panic!("separate_conv requires a conv layer"),
+    };
+    let s = conv.filters.shape().to_vec();
+    let (nf, nc, kh, kw) = (s[0], s[1], s[2], s[3]);
+    assert!(r1 > 0 && r2 > 0, "ranks must be positive");
+    let r1 = r1.min(nc * kh);
+    let r2 = r2.min(r1 * kw).min(nf);
+
+    // Target tensor as f64.
+    let w: Vec<f64> = conv.filters.data().iter().map(|&v| v as f64).collect();
+    let wnorm = w.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+
+    // Model: w[f,c,ky,kx] = Σ_{a,b} P[f,b] · H[b,a,kx] · V[a,c,ky].
+    // Initialize V from the SVD of the (c,ky)-mode unfolding, H randomly
+    // deterministic, P solved first.
+    let unfold_v = Mat::from_vec(
+        nc * kh,
+        nf * kw,
+        {
+            let mut m = vec![0.0f64; nc * kh * nf * kw];
+            for f in 0..nf {
+                for c in 0..nc {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            m[(c * kh + ky) * (nf * kw) + f * kw + kx] =
+                                w[((f * nc + c) * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+            }
+            m
+        },
+    );
+    let dec = svd(&unfold_v);
+    let mut v_fac = vec![0.0f64; r1 * nc * kh]; // V[a, c, ky]
+    for a in 0..r1 {
+        for ck in 0..nc * kh {
+            v_fac[a * nc * kh + ck] = dec.u.at(ck, a.min(dec.s.len() - 1));
+        }
+    }
+    // Deterministic pseudo-random H init (varied signs avoid degeneracy).
+    let mut h_fac = vec![0.0f64; r2 * r1 * kw]; // H[b, a, kx]
+    for (i, h) in h_fac.iter_mut().enumerate() {
+        let x = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as f64;
+        *h = (x / (1u64 << 31) as f64) - 1.0;
+    }
+    let mut p_fac = vec![0.0f64; nf * r2]; // P[f, b]
+
+    // z[f, c, ky, kx] with intermediate contraction helpers.
+    let mut err = f64::INFINITY;
+    for _iter in 0..12 {
+        // --- Solve P with (H, V) fixed: least squares per f over basis
+        // M[b, (c,ky,kx)] = Σ_a H[b,a,kx] V[a,c,ky].
+        let mut basis = Mat::zeros(r2, nc * kh * kw);
+        for b in 0..r2 {
+            for c in 0..nc {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let mut acc = 0.0;
+                        for a in 0..r1 {
+                            acc += h_fac[(b * r1 + a) * kw + kx] * v_fac[a * nc * kh + c * kh + ky];
+                        }
+                        *basis.at_mut(b, (c * kh + ky) * kw + kx) = acc;
+                    }
+                }
+            }
+        }
+        let gram = basis.matmul(&basis.transpose()); // r2 × r2
+        let mut rhs = Mat::zeros(r2, nf);
+        for b in 0..r2 {
+            for f in 0..nf {
+                let mut acc = 0.0;
+                for i in 0..nc * kh * kw {
+                    acc += basis.at(b, i) * w[f * nc * kh * kw + i];
+                }
+                *rhs.at_mut(b, f) = acc;
+            }
+        }
+        if let Some(sol) = solve(&gram, &rhs) {
+            for f in 0..nf {
+                for b in 0..r2 {
+                    p_fac[f * r2 + b] = sol.at(b, f);
+                }
+            }
+        }
+
+        // --- Solve H with (P, V) fixed. Unknowns per (a, kx) block
+        // actually couple across (b, a, kx); treat each kx separately:
+        // w[f,c,ky,kx] = Σ_b P[f,b] Σ_a H[b,a,kx] V[a,c,ky].
+        // For fixed kx this is a bilinear LS in H[:, :, kx]; solve via
+        // normal equations over the Kronecker basis (P ⊗ V), dimension
+        // (r2·r1) — small (≤ 64).
+        for kx in 0..kw {
+            let dim = r2 * r1;
+            let mut gram = Mat::zeros(dim, dim);
+            let mut rhs = Mat::zeros(dim, 1);
+            // Precompute PᵀP and VVᵀ.
+            let mut ptp = vec![0.0; r2 * r2];
+            for b1 in 0..r2 {
+                for b2 in 0..r2 {
+                    let mut acc = 0.0;
+                    for f in 0..nf {
+                        acc += p_fac[f * r2 + b1] * p_fac[f * r2 + b2];
+                    }
+                    ptp[b1 * r2 + b2] = acc;
+                }
+            }
+            let mut vvt = vec![0.0; r1 * r1];
+            for a1 in 0..r1 {
+                for a2 in 0..r1 {
+                    let mut acc = 0.0;
+                    for ck in 0..nc * kh {
+                        acc += v_fac[a1 * nc * kh + ck] * v_fac[a2 * nc * kh + ck];
+                    }
+                    vvt[a1 * r1 + a2] = acc;
+                }
+            }
+            for b1 in 0..r2 {
+                for a1 in 0..r1 {
+                    for b2 in 0..r2 {
+                        for a2 in 0..r1 {
+                            *gram.at_mut(b1 * r1 + a1, b2 * r1 + a2) =
+                                ptp[b1 * r2 + b2] * vvt[a1 * r1 + a2];
+                        }
+                    }
+                    let mut acc = 0.0;
+                    for f in 0..nf {
+                        for c in 0..nc {
+                            for ky in 0..kh {
+                                acc += p_fac[f * r2 + b1]
+                                    * v_fac[a1 * nc * kh + c * kh + ky]
+                                    * w[((f * nc + c) * kh + ky) * kw + kx];
+                            }
+                        }
+                    }
+                    *rhs.at_mut(b1 * r1 + a1, 0) = acc;
+                }
+            }
+            // Ridge for stability.
+            for i in 0..dim {
+                *gram.at_mut(i, i) += 1e-9;
+            }
+            if let Some(sol) = solve(&gram, &rhs) {
+                for b in 0..r2 {
+                    for a in 0..r1 {
+                        h_fac[(b * r1 + a) * kw + kx] = sol.at(b * r1 + a, 0);
+                    }
+                }
+            }
+        }
+
+        // --- Solve V with (P, H) fixed: basis N[a, (f,kx)] pattern per
+        // (c,ky) column: w[f,c,ky,kx] = Σ_a (Σ_b P[f,b] H[b,a,kx]) V[a,c,ky].
+        let mut q = vec![0.0; nf * kw * r1]; // Q[(f,kx), a]
+        for f in 0..nf {
+            for kx in 0..kw {
+                for a in 0..r1 {
+                    let mut acc = 0.0;
+                    for b in 0..r2 {
+                        acc += p_fac[f * r2 + b] * h_fac[(b * r1 + a) * kw + kx];
+                    }
+                    q[(f * kw + kx) * r1 + a] = acc;
+                }
+            }
+        }
+        let mut gram = Mat::zeros(r1, r1);
+        for a1 in 0..r1 {
+            for a2 in 0..r1 {
+                let mut acc = 0.0;
+                for i in 0..nf * kw {
+                    acc += q[i * r1 + a1] * q[i * r1 + a2];
+                }
+                *gram.at_mut(a1, a2) = acc;
+            }
+        }
+        for i in 0..r1 {
+            *gram.at_mut(i, i) += 1e-9;
+        }
+        let mut rhs = Mat::zeros(r1, nc * kh);
+        for a in 0..r1 {
+            for c in 0..nc {
+                for ky in 0..kh {
+                    let mut acc = 0.0;
+                    for f in 0..nf {
+                        for kx in 0..kw {
+                            acc += q[(f * kw + kx) * r1 + a] * w[((f * nc + c) * kh + ky) * kw + kx];
+                        }
+                    }
+                    *rhs.at_mut(a, c * kh + ky) = acc;
+                }
+            }
+        }
+        if let Some(sol) = solve(&gram, &rhs) {
+            for a in 0..r1 {
+                for ck in 0..nc * kh {
+                    v_fac[a * nc * kh + ck] = sol.at(a, ck);
+                }
+            }
+        }
+
+        // --- Fit error.
+        let mut se = 0.0;
+        for f in 0..nf {
+            for c in 0..nc {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let mut approx = 0.0;
+                        for b in 0..r2 {
+                            for a in 0..r1 {
+                                approx += p_fac[f * r2 + b]
+                                    * h_fac[(b * r1 + a) * kw + kx]
+                                    * v_fac[a * nc * kh + c * kh + ky];
+                            }
+                        }
+                        se += (w[((f * nc + c) * kh + ky) * kw + kx] - approx).powi(2);
+                    }
+                }
+            }
+        }
+        let new_err = se.sqrt() / wnorm;
+        if (err - new_err).abs() < 1e-9 {
+            err = new_err;
+            break;
+        }
+        err = new_err;
+    }
+
+    // Balance factor norms: ALS can return one huge and one tiny factor
+    // (their product is what is constrained), which destabilizes the
+    // re-training gradients. Rescale all three to the geometric mean.
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    let (np, nh, nv) = (norm(&p_fac), norm(&h_fac), norm(&v_fac));
+    let target = (np * nh * nv).powf(1.0 / 3.0);
+    for x in p_fac.iter_mut() {
+        *x *= target / np;
+    }
+    for x in h_fac.iter_mut() {
+        *x *= target / nh;
+    }
+    for x in v_fac.iter_mut() {
+        *x *= target / nv;
+    }
+
+    // Materialize the three conv layers.
+    let mut vert = Tensor::zeros(vec![r1, nc, kh, 1]);
+    for a in 0..r1 {
+        for c in 0..nc {
+            for ky in 0..kh {
+                vert.data_mut()[(a * nc + c) * kh + ky] = v_fac[a * nc * kh + c * kh + ky] as f32;
+            }
+        }
+    }
+    let mut horiz = Tensor::zeros(vec![r2, r1, 1, kw]);
+    for b in 0..r2 {
+        for a in 0..r1 {
+            for kx in 0..kw {
+                horiz.data_mut()[(b * r1 + a) * kw + kx] = h_fac[(b * r1 + a) * kw + kx] as f32;
+            }
+        }
+    }
+    let mut point = Tensor::zeros(vec![nf, r2, 1, 1]);
+    for f in 0..nf {
+        for b in 0..r2 {
+            point.data_mut()[f * r2 + b] = p_fac[f * r2 + b] as f32;
+        }
+    }
+    SeparatedConv {
+        vertical: Layer::conv2d_from(vert, Tensor::zeros(vec![r1])),
+        horizontal: Layer::conv2d_from(horiz, Tensor::zeros(vec![r2])),
+        pointwise: Layer::conv2d_from(point, conv.bias.clone()),
+        rel_error: err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::model::Model;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separate_dense_full_rank_is_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let orig = Layer::dense(6, 4, &mut rng);
+        let (h, o) = separate_dense(&orig, 4);
+        // Composition reproduces the original map on random inputs.
+        let mut m_orig = Model::new(vec![orig]);
+        let mut m_sep = Model::new(vec![h, o]);
+        for seed in 0..5 {
+            let x = Tensor::uniform(vec![6], 1.0, &mut rand::rngs::StdRng::seed_from_u64(seed));
+            let a = m_orig.forward(&x);
+            let b = m_sep.forward(&x);
+            for (va, vb) in a.data().iter().zip(b.data()) {
+                assert!((va - vb).abs() < 1e-4, "{va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn separate_dense_reduces_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let orig = Layer::dense(100, 50, &mut rng); // 5000 weights
+        let (h, o) = separate_dense(&orig, 5);
+        let total = h.dense_params() + o.dense_params();
+        // 5*100 + 50*5 weights + biases(5 + 50) = 805.
+        assert_eq!(total, 805);
+        assert!(total < orig.dense_params());
+    }
+
+    #[test]
+    fn separate_dense_shapes_compose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let orig = Layer::dense(30, 10, &mut rng);
+        let (h, o) = separate_dense(&orig, 3);
+        assert_eq!(h.output_shape(&[30]), vec![3]);
+        assert_eq!(o.output_shape(&[3]), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank")]
+    fn separate_dense_rejects_oversized_rank() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let orig = Layer::dense(4, 3, &mut rng);
+        let _ = separate_dense(&orig, 5);
+    }
+
+    #[test]
+    fn separate_conv_reconstructs_low_rank_filters() {
+        // Build filters that are exactly rank-1 separable: w[f,c,ky,kx] =
+        // p[f]·v[c,ky]·h[kx]; ALS at ranks (1,1) should fit near-exactly.
+        let (nf, nc, kh, kw) = (4usize, 2usize, 5usize, 5usize);
+        let mut filters = Tensor::zeros(vec![nf, nc, kh, kw]);
+        let p: Vec<f32> = vec![0.5, -0.8, 0.3, 1.0];
+        let v: Vec<f32> = (0..nc * kh).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let h: Vec<f32> = (0..kw).map(|i| 0.2 + 0.1 * i as f32).collect();
+        for f in 0..nf {
+            for c in 0..nc {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        filters.data_mut()[((f * nc + c) * kh + ky) * kw + kx] =
+                            p[f] * v[c * kh + ky] * h[kx];
+                    }
+                }
+            }
+        }
+        let orig = Layer::conv2d_from(filters, Tensor::zeros(vec![nf]));
+        let sep = separate_conv(&orig, 1, 1);
+        assert!(
+            sep.rel_error < 1e-6,
+            "rank-1 tensor should fit exactly, err {}",
+            sep.rel_error
+        );
+    }
+
+    #[test]
+    fn separate_conv_shapes_chain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let orig = Layer::conv2d(20, 1, 5, 5, &mut rng);
+        let sep = separate_conv(&orig, 3, 3);
+        // [1,28,28] -> vertical [3,24,28] -> horizontal [3,24,24] ->
+        // pointwise [20,24,24]: same output as the original conv.
+        let s1 = sep.vertical.output_shape(&[1, 28, 28]);
+        let s2 = sep.horizontal.output_shape(&s1);
+        let s3 = sep.pointwise.output_shape(&s2);
+        assert_eq!(s3, orig.output_shape(&[1, 28, 28]));
+    }
+
+    #[test]
+    fn separate_conv_error_decreases_with_rank() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let orig = Layer::conv2d(8, 2, 5, 5, &mut rng);
+        let lo = separate_conv(&orig, 1, 1);
+        let hi = separate_conv(&orig, 4, 4);
+        assert!(
+            hi.rel_error <= lo.rel_error + 1e-9,
+            "higher rank must fit at least as well: {} vs {}",
+            hi.rel_error,
+            lo.rel_error
+        );
+    }
+
+    #[test]
+    fn separate_conv_compresses_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let orig = Layer::conv2d(20, 1, 5, 5, &mut rng); // 500 weights
+        let sep = separate_conv(&orig, 2, 2);
+        let total = sep.vertical.dense_params()
+            + sep.horizontal.dense_params()
+            + sep.pointwise.dense_params();
+        assert!(
+            total < orig.dense_params() / 3,
+            "3x1D should compress: {total} vs {}",
+            orig.dense_params()
+        );
+    }
+}

@@ -1,0 +1,966 @@
+//! The device itself: metered memories, power state, LEA, and DMA.
+//!
+//! # Execution and failure model
+//!
+//! Every operation a program performs goes through [`Device::consume`] (or
+//! the typed memory/peripheral methods that call it). On harvested power
+//! each operation drains the capacitor; when the buffer cannot cover an
+//! operation the device *browns out*: the operation does not take effect,
+//! [`PowerFailure`] is returned, and the device is off until
+//! [`Device::reboot`] is called (by the scheduler, after simulating the
+//! recharge time). A reboot clears SRAM to a garbage pattern — volatile
+//! state is gone — while FRAM contents persist, including any partial
+//! writes an interrupted task performed. This is exactly the hazard that
+//! SONIC's idempotence machinery exists to make safe.
+//!
+//! # Write atomicity
+//!
+//! Energy is consumed *before* a word is written, so individual 16-bit
+//! writes are atomic (they either happen or they don't), matching FRAM's
+//! word-level write atomicity on real hardware. There is no atomicity
+//! across words: multi-word structures can be torn by a power failure.
+
+use crate::power::PowerSystem;
+use crate::spec::{DeviceSpec, Op};
+use crate::trace::{Phase, RegionId, Trace};
+use core::fmt;
+use fxp::{Accum, Q15};
+
+/// The device browned out: the capacitor cannot cover the next operation.
+///
+/// Propagate this out of the current task with `?`; all volatile state
+/// (Rust locals) is dropped on the way out, exactly like losing SRAM and
+/// registers on real hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowerFailure;
+
+impl fmt::Display for PowerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("power failure: energy buffer exhausted")
+    }
+}
+
+impl std::error::Error for PowerFailure {}
+
+/// Memory allocation failed: the arena is out of words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    /// Words requested.
+    pub requested: u32,
+    /// Words still available.
+    pub available: u32,
+    /// `true` for FRAM, `false` for SRAM.
+    pub fram: bool,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} exhausted: requested {} words, {} available",
+            if self.fram { "FRAM" } else { "SRAM" },
+            self.requested,
+            self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The pattern uninitialized/cleared SRAM reads as after a reboot.
+///
+/// Real SRAM powers up with unpredictable contents; a fixed, obviously
+/// wrong pattern keeps the simulation deterministic while still making
+/// code that relies on volatile state across failures visibly incorrect.
+pub const SRAM_GARBAGE: i16 = 0x5A5Au16 as i16;
+
+/// Handle to an array of Q1.15 words in FRAM (non-volatile).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FramBuf {
+    base: u32,
+    len: u32,
+}
+
+/// Handle to an array of Q1.15 words in SRAM (volatile).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SramBuf {
+    base: u32,
+    len: u32,
+}
+
+/// Handle to a single 16-bit counter/flag word in FRAM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FramWord {
+    addr: u32,
+}
+
+/// A raw non-volatile word address.
+///
+/// Runtime systems (like the Alpaca-style redo log) operate on addresses
+/// rather than typed handles: a log entry records *which word* to patch at
+/// commit time. Obtain addresses from [`FramBuf::addr`] or
+/// [`FramWord::addr`] and dereference them with [`Device::read_at`] /
+/// [`Device::write_at`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NvAddr(u32);
+
+impl NvAddr {
+    /// The raw word index inside FRAM (for diagnostics).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl FramWord {
+    /// The raw non-volatile address of this word.
+    pub fn addr(self) -> NvAddr {
+        NvAddr(self.addr)
+    }
+}
+
+/// Handle to a single 16-bit counter/flag word in SRAM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SramWord {
+    addr: u32,
+}
+
+macro_rules! impl_buf {
+    ($name:ident) => {
+        impl $name {
+            /// Number of 16-bit words in the buffer.
+            #[inline]
+            pub fn len(self) -> u32 {
+                self.len
+            }
+
+            /// `true` when the buffer holds zero words.
+            #[inline]
+            pub fn is_empty(self) -> bool {
+                self.len == 0
+            }
+
+            /// A sub-range of this buffer.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `offset + len` exceeds the buffer.
+            #[inline]
+            pub fn slice(self, offset: u32, len: u32) -> $name {
+                assert!(
+                    offset.checked_add(len).is_some_and(|end| end <= self.len),
+                    "slice out of range: {}+{} > {}",
+                    offset,
+                    len,
+                    self.len
+                );
+                $name {
+                    base: self.base + offset,
+                    len,
+                }
+            }
+        }
+    };
+}
+
+impl_buf!(FramBuf);
+impl_buf!(SramBuf);
+
+impl FramBuf {
+    /// The raw non-volatile address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn addr(self, i: u32) -> NvAddr {
+        assert!(i < self.len, "addr out of bounds: {i} >= {}", self.len);
+        NvAddr(self.base + i)
+    }
+}
+
+/// The simulated MCU.
+///
+/// See the [module docs](self) for the execution and failure model.
+#[derive(Clone, Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    power: PowerSystem,
+    charge_pj: u64,
+    on: bool,
+    fram: Vec<i16>,
+    fram_brk: u32,
+    sram: Vec<i16>,
+    sram_brk: u32,
+    trace: Trace,
+    region: RegionId,
+    phase: Phase,
+}
+
+impl Device {
+    /// Creates a device, fully charged (the first charge's dead time is not
+    /// counted, matching how the paper's measurements start).
+    pub fn new(spec: DeviceSpec, power: PowerSystem) -> Self {
+        let charge = power.buffer_energy_pj().unwrap_or(0);
+        let fram = vec![0i16; spec.fram_words as usize];
+        let sram = vec![SRAM_GARBAGE; spec.sram_words as usize];
+        Device {
+            spec,
+            power,
+            charge_pj: charge,
+            on: true,
+            fram,
+            fram_brk: 0,
+            sram,
+            sram_brk: 0,
+            trace: Trace::new(),
+            region: RegionId::OTHER,
+            phase: Phase::Kernel,
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The power system the device runs on.
+    pub fn power(&self) -> PowerSystem {
+        self.power
+    }
+
+    /// Remaining buffer charge in picojoules (meaningless on continuous
+    /// power).
+    pub fn charge_pj(&self) -> u64 {
+        self.charge_pj
+    }
+
+    /// `true` while the device has power.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// The execution trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Registers an accounting region (e.g. a layer name).
+    pub fn register_region(&mut self, name: &str) -> RegionId {
+        self.trace.register_region(name)
+    }
+
+    /// Sets the accounting context for subsequent operations.
+    pub fn set_context(&mut self, region: RegionId, phase: Phase) {
+        self.region = region;
+        self.phase = phase;
+    }
+
+    /// Current accounting context.
+    pub fn context(&self) -> (RegionId, Phase) {
+        (self.region, self.phase)
+    }
+
+    /// Signals that forward progress was durably committed (e.g. a loop
+    /// iteration's results reached FRAM). The scheduler uses this to
+    /// distinguish "slow but progressing" from "non-terminating".
+    pub fn mark_progress(&mut self) {
+        self.trace.mark_progress();
+    }
+
+    /// Consumes one operation's cycles and energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] when the buffer cannot cover the operation
+    /// (the operation does not take effect) or when the device is already
+    /// off.
+    #[inline]
+    pub fn consume(&mut self, op: Op) -> Result<(), PowerFailure> {
+        self.consume_n(op, 1)
+    }
+
+    /// Consumes `n` operations of the same class, stopping at the first one
+    /// the buffer cannot cover.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] if fewer than `n` operations fit in the
+    /// remaining charge; the ones that fit are still charged (they executed
+    /// before the failure).
+    pub fn consume_n(&mut self, op: Op, n: u64) -> Result<(), PowerFailure> {
+        if !self.on {
+            return Err(PowerFailure);
+        }
+        let cost = self.spec.costs.cost(op);
+        match self.power {
+            PowerSystem::Continuous => {
+                self.trace.charge(self.region, self.phase, op, n, cost);
+                Ok(())
+            }
+            PowerSystem::Harvested(_) => {
+                let per = cost.energy_pj;
+                let fit = if per == 0 { n } else { (self.charge_pj / per).min(n) };
+                if fit > 0 {
+                    self.trace.charge(self.region, self.phase, op, fit, cost);
+                    self.charge_pj -= fit * per;
+                }
+                if fit == n {
+                    Ok(())
+                } else {
+                    // The interrupted operation's residual charge is wasted
+                    // in the brown-out.
+                    self.charge_pj = 0;
+                    self.on = false;
+                    Err(PowerFailure)
+                }
+            }
+        }
+    }
+
+    /// Recharges the buffer and reboots the device after a power failure:
+    /// dead time accrues at the harvester's input power, SRAM is cleared to
+    /// [`SRAM_GARBAGE`], FRAM persists, and the boot overhead is charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too small to even cover the boot sequence
+    /// (a misconfigured power system, not a runtime condition).
+    pub fn reboot(&mut self) {
+        if let PowerSystem::Harvested(h) = self.power {
+            let buffer = h.buffer_energy_pj();
+            let deficit = buffer - self.charge_pj;
+            self.trace.add_dead_time(h.recharge_secs(deficit));
+            self.charge_pj = buffer;
+        }
+        self.on = true;
+        self.trace.add_reboot();
+        for w in &mut self.sram {
+            *w = SRAM_GARBAGE;
+        }
+        self.consume(Op::Boot)
+            .expect("power buffer smaller than boot overhead");
+    }
+
+    // ----- allocation ------------------------------------------------
+
+    /// Allocates a FRAM array (a link-time concept; costs no energy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when FRAM is exhausted.
+    pub fn fram_alloc(&mut self, len: u32) -> Result<FramBuf, AllocError> {
+        let available = self.spec.fram_words - self.fram_brk;
+        if len > available {
+            return Err(AllocError {
+                requested: len,
+                available,
+                fram: true,
+            });
+        }
+        let buf = FramBuf {
+            base: self.fram_brk,
+            len,
+        };
+        self.fram_brk += len;
+        Ok(buf)
+    }
+
+    /// Allocates a single FRAM counter word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when FRAM is exhausted.
+    pub fn fram_alloc_word(&mut self) -> Result<FramWord, AllocError> {
+        let buf = self.fram_alloc(1)?;
+        Ok(FramWord { addr: buf.base })
+    }
+
+    /// Allocates an SRAM array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when SRAM is exhausted (it is only 4 KB).
+    pub fn sram_alloc(&mut self, len: u32) -> Result<SramBuf, AllocError> {
+        let available = self.spec.sram_words - self.sram_brk;
+        if len > available {
+            return Err(AllocError {
+                requested: len,
+                available,
+                fram: false,
+            });
+        }
+        let buf = SramBuf {
+            base: self.sram_brk,
+            len,
+        };
+        self.sram_brk += len;
+        Ok(buf)
+    }
+
+    /// Allocates a single SRAM word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when SRAM is exhausted.
+    pub fn sram_alloc_word(&mut self) -> Result<SramWord, AllocError> {
+        let buf = self.sram_alloc(1)?;
+        Ok(SramWord { addr: buf.base })
+    }
+
+    /// Words of SRAM still unallocated.
+    pub fn sram_available(&self) -> u32 {
+        self.spec.sram_words - self.sram_brk
+    }
+
+    /// Words of FRAM still unallocated.
+    pub fn fram_available(&self) -> u32 {
+        self.spec.fram_words - self.fram_brk
+    }
+
+    // ----- metered memory access --------------------------------------
+
+    /// Reads one Q1.15 word from FRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn read(&mut self, buf: FramBuf, i: u32) -> Result<Q15, PowerFailure> {
+        assert!(i < buf.len, "FRAM read out of bounds: {i} >= {}", buf.len);
+        self.consume(Op::FramRead)?;
+        Ok(Q15::from_raw(self.fram[(buf.base + i) as usize]))
+    }
+
+    /// Writes one Q1.15 word to FRAM (atomic at word granularity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn write(&mut self, buf: FramBuf, i: u32, v: Q15) -> Result<(), PowerFailure> {
+        assert!(i < buf.len, "FRAM write out of bounds: {i} >= {}", buf.len);
+        self.consume(Op::FramWrite)?;
+        self.fram[(buf.base + i) as usize] = v.raw();
+        Ok(())
+    }
+
+    /// Reads one Q1.15 word from SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn sram_read(&mut self, buf: SramBuf, i: u32) -> Result<Q15, PowerFailure> {
+        assert!(i < buf.len, "SRAM read out of bounds: {i} >= {}", buf.len);
+        self.consume(Op::SramRead)?;
+        Ok(Q15::from_raw(self.sram[(buf.base + i) as usize]))
+    }
+
+    /// Writes one Q1.15 word to SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn sram_write(&mut self, buf: SramBuf, i: u32, v: Q15) -> Result<(), PowerFailure> {
+        assert!(i < buf.len, "SRAM write out of bounds: {i} >= {}", buf.len);
+        self.consume(Op::SramWrite)?;
+        self.sram[(buf.base + i) as usize] = v.raw();
+        Ok(())
+    }
+
+    /// Reads a 16-bit counter from FRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    #[inline]
+    pub fn load_word(&mut self, w: FramWord) -> Result<u16, PowerFailure> {
+        self.consume(Op::FramRead)?;
+        Ok(self.fram[w.addr as usize] as u16)
+    }
+
+    /// Writes a 16-bit counter to FRAM (atomic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    #[inline]
+    pub fn store_word(&mut self, w: FramWord, v: u16) -> Result<(), PowerFailure> {
+        self.consume(Op::FramWrite)?;
+        self.fram[w.addr as usize] = v as i16;
+        Ok(())
+    }
+
+    /// Reads a 16-bit counter from SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    #[inline]
+    pub fn sram_load_word(&mut self, w: SramWord) -> Result<u16, PowerFailure> {
+        self.consume(Op::SramRead)?;
+        Ok(self.sram[w.addr as usize] as u16)
+    }
+
+    /// Writes a 16-bit counter to SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    #[inline]
+    pub fn sram_store_word(&mut self, w: SramWord, v: u16) -> Result<(), PowerFailure> {
+        self.consume(Op::SramWrite)?;
+        self.sram[w.addr as usize] = v as i16;
+        Ok(())
+    }
+
+    /// Reads the FRAM word at a raw address (metered as a FRAM read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    #[inline]
+    pub fn read_at(&mut self, addr: NvAddr) -> Result<Q15, PowerFailure> {
+        self.consume(Op::FramRead)?;
+        Ok(Q15::from_raw(self.fram[addr.0 as usize]))
+    }
+
+    /// Writes the FRAM word at a raw address (metered, atomic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    #[inline]
+    pub fn write_at(&mut self, addr: NvAddr, v: Q15) -> Result<(), PowerFailure> {
+        self.consume(Op::FramWrite)?;
+        self.fram[addr.0 as usize] = v.raw();
+        Ok(())
+    }
+
+    /// Host-side read of a raw FRAM address (no energy).
+    pub fn peek_at(&self, addr: NvAddr) -> Q15 {
+        Q15::from_raw(self.fram[addr.0 as usize])
+    }
+
+    // ----- unmetered host ports (the "measurement MCU") ----------------
+
+    /// Installs data into FRAM without consuming energy, like flashing the
+    /// binary image before deployment. Shorter data leaves the tail intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than `buf`.
+    pub fn flash(&mut self, buf: FramBuf, data: &[Q15]) {
+        assert!(data.len() <= buf.len as usize, "flash overflows buffer");
+        for (i, q) in data.iter().enumerate() {
+            self.fram[buf.base as usize + i] = q.raw();
+        }
+    }
+
+    /// Installs a single counter word without consuming energy (flash-time
+    /// initialization of runtime control words).
+    pub fn flash_word(&mut self, w: FramWord, v: u16) {
+        self.fram[w.addr as usize] = v as i16;
+    }
+
+    /// Host-side snapshot of a FRAM buffer (no energy): the debug port the
+    /// measurement MCU uses to extract results.
+    pub fn peek(&self, buf: FramBuf) -> Vec<Q15> {
+        self.fram[buf.base as usize..(buf.base + buf.len) as usize]
+            .iter()
+            .map(|&w| Q15::from_raw(w))
+            .collect()
+    }
+
+    /// Host-side read of a FRAM counter word (no energy).
+    pub fn peek_word(&self, w: FramWord) -> u16 {
+        self.fram[w.addr as usize] as u16
+    }
+
+    /// Host-side snapshot of an SRAM buffer (no energy), for tests.
+    pub fn sram_peek(&self, buf: SramBuf) -> Vec<Q15> {
+        self.sram[buf.base as usize..(buf.base + buf.len) as usize]
+            .iter()
+            .map(|&w| Q15::from_raw(w))
+            .collect()
+    }
+
+    // ----- DMA ---------------------------------------------------------
+
+    /// DMA block copy FRAM → SRAM. Words are moved one at a time, so a
+    /// brown-out mid-transfer leaves a partial (volatile) copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths.
+    pub fn dma_fram_to_sram(&mut self, src: FramBuf, dst: SramBuf) -> Result<(), PowerFailure> {
+        assert_eq!(src.len, dst.len, "dma: length mismatch");
+        self.consume(Op::DmaSetup)?;
+        for i in 0..src.len {
+            self.consume(Op::DmaWord)?;
+            self.sram[(dst.base + i) as usize] = self.fram[(src.base + i) as usize];
+        }
+        Ok(())
+    }
+
+    /// DMA block copy SRAM → FRAM. A brown-out mid-transfer leaves a
+    /// partial *non-volatile* copy — callers must make this safe (TAILS
+    /// writes only to the inactive half of a double buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths.
+    pub fn dma_sram_to_fram(&mut self, src: SramBuf, dst: FramBuf) -> Result<(), PowerFailure> {
+        assert_eq!(src.len, dst.len, "dma: length mismatch");
+        self.consume(Op::DmaSetup)?;
+        for i in 0..src.len {
+            self.consume(Op::DmaWord)?;
+            self.fram[(dst.base + i) as usize] = self.sram[(src.base + i) as usize];
+        }
+        Ok(())
+    }
+
+    // ----- LEA ----------------------------------------------------------
+
+    /// LEA FIR discrete-time convolution over SRAM buffers:
+    /// `out[i] = Σ_j src[i+j]·taps[j]` (valid correlation).
+    ///
+    /// LEA can only address SRAM, which the signature enforces with
+    /// [`SramBuf`] operands. Charges one setup plus one MAC per
+    /// tap-multiply; results land in SRAM (volatile, safe to lose).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty, longer than `src`, or `out` is not
+    /// exactly `src.len() - taps.len() + 1` words.
+    pub fn lea_fir(
+        &mut self,
+        src: SramBuf,
+        taps: SramBuf,
+        out: SramBuf,
+    ) -> Result<(), PowerFailure> {
+        assert!(!taps.is_empty(), "lea_fir: empty taps");
+        assert!(taps.len <= src.len, "lea_fir: taps longer than input");
+        let n = src.len - taps.len + 1;
+        assert_eq!(out.len, n, "lea_fir: bad output length");
+        self.consume(Op::LeaSetup)?;
+        self.consume_n(Op::LeaMac, n as u64 * taps.len as u64)?;
+        for i in 0..n {
+            let mut acc = Accum::ZERO;
+            for j in 0..taps.len {
+                let s = Q15::from_raw(self.sram[(src.base + i + j) as usize]);
+                let t = Q15::from_raw(self.sram[(taps.base + j) as usize]);
+                acc.mac(s, t);
+            }
+            self.sram[(out.base + i) as usize] = acc.to_q15().raw();
+        }
+        Ok(())
+    }
+
+    /// LEA vector multiply-accumulate (dot product) over SRAM buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] on brown-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths.
+    pub fn lea_dot(&mut self, a: SramBuf, b: SramBuf) -> Result<Accum, PowerFailure> {
+        assert_eq!(a.len, b.len, "lea_dot: length mismatch");
+        self.consume(Op::LeaSetup)?;
+        self.consume_n(Op::LeaMac, a.len as u64)?;
+        let mut acc = Accum::ZERO;
+        for i in 0..a.len {
+            acc.mac(
+                Q15::from_raw(self.sram[(a.base + i) as usize]),
+                Q15::from_raw(self.sram[(b.base + i) as usize]),
+            );
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CostTable;
+
+    fn continuous() -> Device {
+        Device::new(DeviceSpec::tiny(), PowerSystem::continuous())
+    }
+
+    #[test]
+    fn fram_roundtrip_and_energy() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(8).unwrap();
+        d.write(buf, 3, Q15::HALF).unwrap();
+        assert_eq!(d.read(buf, 3).unwrap(), Q15::HALF);
+        let t = CostTable::msp430fr5994();
+        let expect =
+            t.cost(Op::FramWrite).energy_pj + t.cost(Op::FramRead).energy_pj;
+        assert_eq!(d.trace().total_energy_pj(), expect);
+    }
+
+    #[test]
+    fn sram_cleared_on_reboot_fram_persists() {
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let f = d.fram_alloc(1).unwrap();
+        let s = d.sram_alloc(1).unwrap();
+        d.write(f, 0, Q15::HALF).unwrap();
+        d.sram_write(s, 0, Q15::HALF).unwrap();
+        // Drain the buffer.
+        while d.consume(Op::FxpMul).is_ok() {}
+        assert!(!d.is_on());
+        d.reboot();
+        assert!(d.is_on());
+        assert_eq!(d.peek(f)[0], Q15::HALF, "FRAM must persist");
+        assert_eq!(
+            d.sram_peek(s)[0].raw(),
+            SRAM_GARBAGE,
+            "SRAM must be cleared"
+        );
+        assert_eq!(d.trace().reboots(), 1);
+        assert!(d.trace().dead_secs() > 0.0);
+    }
+
+    #[test]
+    fn failing_write_has_no_effect() {
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let f = d.fram_alloc(1).unwrap();
+        d.write(f, 0, Q15::HALF).unwrap();
+        while d.consume(Op::Nop).is_ok() {}
+        assert_eq!(d.write(f, 0, Q15::ZERO), Err(PowerFailure));
+        assert_eq!(d.peek(f)[0], Q15::HALF, "interrupted write must not land");
+    }
+
+    #[test]
+    fn consume_n_partial_charge_then_failure() {
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let before = d.charge_pj();
+        let per = d.spec().costs.cost(Op::FxpMul).energy_pj;
+        let fits = before / per;
+        // Ask for more than fits: should charge exactly `fits` and fail.
+        assert_eq!(d.consume_n(Op::FxpMul, fits + 10), Err(PowerFailure));
+        assert_eq!(d.trace().op_count(Op::FxpMul), fits);
+        assert_eq!(d.charge_pj(), 0);
+    }
+
+    #[test]
+    fn continuous_power_never_fails() {
+        let mut d = continuous();
+        for _ in 0..100_000 {
+            d.consume(Op::FramWrite).unwrap();
+        }
+        assert!(d.is_on());
+        assert!(d.trace().total_energy_pj() > 0);
+    }
+
+    #[test]
+    fn operations_fail_while_off() {
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        while d.consume(Op::Nop).is_ok() {}
+        assert_eq!(d.consume(Op::Alu), Err(PowerFailure));
+        let f = d.fram_alloc(1).unwrap();
+        assert_eq!(d.read(f, 0), Err(PowerFailure));
+    }
+
+    #[test]
+    fn alloc_errors_when_exhausted() {
+        let mut d = continuous();
+        let sram_words = d.spec().sram_words;
+        assert!(d.sram_alloc(sram_words).is_ok());
+        let err = d.sram_alloc(1).unwrap_err();
+        assert!(!err.fram);
+        assert_eq!(err.available, 0);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn fram_alloc_respects_capacity() {
+        let mut d = continuous();
+        let cap = d.fram_available();
+        assert!(d.fram_alloc(cap + 1).is_err());
+        assert!(d.fram_alloc(cap).is_ok());
+        assert_eq!(d.fram_available(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(4).unwrap();
+        let _ = d.read(buf, 4);
+    }
+
+    #[test]
+    fn slice_narrows_handle() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(10).unwrap();
+        d.flash(buf, &fxp::vecops::quantize(&[0.1; 10]));
+        let sub = buf.slice(4, 3);
+        assert_eq!(sub.len(), 3);
+        d.write(sub, 0, Q15::HALF).unwrap();
+        assert_eq!(d.peek(buf)[4], Q15::HALF);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_out_of_range_panics() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(10).unwrap();
+        let _ = buf.slice(8, 3);
+    }
+
+    #[test]
+    fn raw_addresses_alias_typed_handles() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(4).unwrap();
+        let a = buf.addr(2);
+        d.write_at(a, Q15::HALF).unwrap();
+        assert_eq!(d.read(buf, 2).unwrap(), Q15::HALF);
+        assert_eq!(d.read_at(a).unwrap(), Q15::HALF);
+        assert_eq!(d.peek_at(a), Q15::HALF);
+        let w = d.fram_alloc_word().unwrap();
+        d.store_word(w, 9).unwrap();
+        assert_eq!(d.peek_at(w.addr()).raw() as u16, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "addr out of bounds")]
+    fn addr_out_of_bounds_panics() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(4).unwrap();
+        let _ = buf.addr(4);
+    }
+
+    #[test]
+    fn word_counters_roundtrip() {
+        let mut d = continuous();
+        let w = d.fram_alloc_word().unwrap();
+        d.store_word(w, 12345).unwrap();
+        assert_eq!(d.load_word(w).unwrap(), 12345);
+        assert_eq!(d.peek_word(w), 12345);
+        let sw = d.sram_alloc_word().unwrap();
+        d.sram_store_word(sw, 777).unwrap();
+        assert_eq!(d.sram_load_word(sw).unwrap(), 777);
+    }
+
+    #[test]
+    fn dma_roundtrip_matches_flash() {
+        let mut d = continuous();
+        let f = d.fram_alloc(16).unwrap();
+        let s = d.sram_alloc(16).unwrap();
+        let data = fxp::vecops::quantize(&[0.25; 16]);
+        d.flash(f, &data);
+        d.dma_fram_to_sram(f, s).unwrap();
+        assert_eq!(d.sram_peek(s), data);
+        let f2 = d.fram_alloc(16).unwrap();
+        d.dma_sram_to_fram(s, f2).unwrap();
+        assert_eq!(d.peek(f2), data);
+        assert_eq!(d.trace().op_count(Op::DmaWord), 32);
+        assert_eq!(d.trace().op_count(Op::DmaSetup), 2);
+    }
+
+    #[test]
+    fn dma_partial_on_power_failure() {
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let f = d.fram_alloc(16).unwrap();
+        d.flash(f, &fxp::vecops::quantize(&[0.5; 16]));
+        let s = d.sram_alloc(16).unwrap();
+        // Drain almost all energy so the DMA dies partway.
+        let per_word = d.spec().costs.cost(Op::DmaWord).energy_pj;
+        while d.charge_pj() > 8 * per_word {
+            if d.consume(Op::Nop).is_err() {
+                break;
+            }
+        }
+        let r = d.dma_fram_to_sram(f, s);
+        assert_eq!(r, Err(PowerFailure));
+        // Some words may have moved; the transfer charged what it did.
+        assert!(d.trace().op_count(Op::DmaWord) < 16);
+    }
+
+    #[test]
+    fn lea_fir_matches_software_reference() {
+        let mut d = continuous();
+        let vals = [0.1f32, -0.2, 0.3, 0.05, -0.4, 0.2, 0.15, -0.1];
+        let taps_f = [0.5f32, -0.25, 0.125];
+        let src = d.sram_alloc(8).unwrap();
+        let taps = d.sram_alloc(3).unwrap();
+        let out = d.sram_alloc(6).unwrap();
+        let qv = fxp::vecops::quantize(&vals);
+        let qt = fxp::vecops::quantize(&taps_f);
+        for (i, q) in qv.iter().enumerate() {
+            d.sram_write(src, i as u32, *q).unwrap();
+        }
+        for (i, q) in qt.iter().enumerate() {
+            d.sram_write(taps, i as u32, *q).unwrap();
+        }
+        d.lea_fir(src, taps, out).unwrap();
+        assert_eq!(d.sram_peek(out), fxp::vecops::fir(&qv, &qt));
+        assert_eq!(d.trace().op_count(Op::LeaMac), 18);
+        assert_eq!(d.trace().op_count(Op::LeaSetup), 1);
+    }
+
+    #[test]
+    fn lea_dot_matches_software_reference() {
+        let mut d = continuous();
+        let a = d.sram_alloc(4).unwrap();
+        let b = d.sram_alloc(4).unwrap();
+        let qa = fxp::vecops::quantize(&[0.1, 0.2, 0.3, 0.4]);
+        let qb = fxp::vecops::quantize(&[0.4, 0.3, 0.2, 0.1]);
+        for i in 0..4u32 {
+            d.sram_write(a, i, qa[i as usize]).unwrap();
+            d.sram_write(b, i, qb[i as usize]).unwrap();
+        }
+        let acc = d.lea_dot(a, b).unwrap();
+        assert_eq!(acc, fxp::vecops::dot(&qa, &qb));
+    }
+
+    #[test]
+    fn context_routes_charges_to_region() {
+        let mut d = continuous();
+        let conv = d.register_region("conv1");
+        d.set_context(conv, Phase::Control);
+        d.consume(Op::TaskTransition).unwrap();
+        assert!(d.trace().region_phase_energy_pj(conv, Phase::Control) > 0);
+        assert_eq!(d.trace().region_phase_energy_pj(conv, Phase::Kernel), 0);
+        assert_eq!(d.context(), (conv, Phase::Control));
+    }
+
+    #[test]
+    fn progress_marks_visible_in_trace() {
+        let mut d = continuous();
+        d.mark_progress();
+        assert_eq!(d.trace().progress_marks(), 1);
+    }
+}

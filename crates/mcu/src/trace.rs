@@ -1,0 +1,409 @@
+//! Execution accounting: cycles and energy per (region, phase, operation).
+//!
+//! The paper's measurement MCU counts charge cycles between GPIO pulses to
+//! attribute energy to code regions (§8). This module is the simulator's
+//! equivalent "measurement MCU": the device charges every operation to the
+//! currently active *region* (for example, a network layer) and *phase*
+//! (kernel vs control), and this trace aggregates them. Figs. 9–12 are all
+//! views over this data:
+//!
+//! - Fig. 9: live time per region + dead (recharging) time.
+//! - Fig. 10: kernel vs control cycles per layer.
+//! - Fig. 11: total energy.
+//! - Fig. 12: energy per operation class per layer.
+
+use crate::spec::{Cost, Op};
+use core::fmt;
+
+/// Identifies a registered accounting region (e.g. a network layer).
+///
+/// Region 0 is always available as the catch-all "other" region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub(crate) u16);
+
+impl RegionId {
+    /// The default catch-all region.
+    pub const OTHER: RegionId = RegionId(0);
+
+    /// The raw index of the region.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether an operation belongs to a layer's main loop (kernel) or its
+/// bookkeeping (control: task transitions, setup/teardown, buffer swaps,
+/// index maintenance). Fig. 10 splits time along this axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Main-loop compute.
+    #[default]
+    Kernel,
+    /// Bookkeeping required for intermittence or loop management.
+    Control,
+}
+
+impl Phase {
+    /// Both phases, in display order.
+    pub const ALL: [Phase; 2] = [Phase::Kernel, Phase::Control];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Kernel => 0,
+            Phase::Control => 1,
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Kernel => "kernel",
+            Phase::Control => "control",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated statistics for one operation class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Number of operations performed.
+    pub count: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total energy in picojoules.
+    pub energy_pj: u64,
+}
+
+impl OpStat {
+    fn charge(&mut self, n: u64, cost: Cost) {
+        self.count += n;
+        self.cycles += n * cost.cycles as u64;
+        self.energy_pj += n * cost.energy_pj;
+    }
+}
+
+type PhaseStats = [[OpStat; Op::COUNT]; 2];
+
+/// The execution trace: everything the "measurement MCU" observed.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    region_names: Vec<String>,
+    stats: Vec<PhaseStats>,
+    live_cycles: u64,
+    dead_secs: f64,
+    reboots: u64,
+    progress_marks: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace with only the "other" region registered.
+    pub fn new() -> Self {
+        Trace {
+            region_names: vec!["other".to_string()],
+            stats: vec![[[OpStat::default(); Op::COUNT]; 2]],
+            live_cycles: 0,
+            dead_secs: 0.0,
+            reboots: 0,
+            progress_marks: 0,
+        }
+    }
+
+    /// Registers a new accounting region, returning its id. Re-registering
+    /// an existing name returns the original id.
+    pub fn register_region(&mut self, name: &str) -> RegionId {
+        if let Some(i) = self.region_names.iter().position(|n| n == name) {
+            return RegionId(i as u16);
+        }
+        let id = RegionId(self.region_names.len() as u16);
+        self.region_names.push(name.to_string());
+        self.stats.push([[OpStat::default(); Op::COUNT]; 2]);
+        id
+    }
+
+    /// The registered region names, indexable by [`RegionId::index`].
+    pub fn region_names(&self) -> &[String] {
+        &self.region_names
+    }
+
+    pub(crate) fn charge(&mut self, region: RegionId, phase: Phase, op: Op, n: u64, cost: Cost) {
+        self.stats[region.index()][phase.index()][op.index()].charge(n, cost);
+        self.live_cycles += n * cost.cycles as u64;
+    }
+
+    pub(crate) fn add_dead_time(&mut self, secs: f64) {
+        self.dead_secs += secs;
+    }
+
+    pub(crate) fn add_reboot(&mut self) {
+        self.reboots += 1;
+    }
+
+    pub(crate) fn mark_progress(&mut self) {
+        self.progress_marks += 1;
+    }
+
+    /// Number of power failures (reboots) observed.
+    pub fn reboots(&self) -> u64 {
+        self.reboots
+    }
+
+    /// Number of forward-progress beacons (used for non-termination
+    /// detection by the scheduler).
+    pub fn progress_marks(&self) -> u64 {
+        self.progress_marks
+    }
+
+    /// Total cycles spent executing (live).
+    pub fn live_cycles(&self) -> u64 {
+        self.live_cycles
+    }
+
+    /// Total time spent dead, recharging, in seconds.
+    pub fn dead_secs(&self) -> f64 {
+        self.dead_secs
+    }
+
+    /// Total energy consumed across all regions, phases, and ops.
+    pub fn total_energy_pj(&self) -> u64 {
+        self.stats
+            .iter()
+            .flat_map(|r| r.iter())
+            .flat_map(|p| p.iter())
+            .map(|s| s.energy_pj)
+            .sum()
+    }
+
+    /// Statistics for one (region, phase, op) cell.
+    pub fn stat(&self, region: RegionId, phase: Phase, op: Op) -> OpStat {
+        self.stats[region.index()][phase.index()][op.index()]
+    }
+
+    /// Energy (pJ) consumed in a region, across both phases.
+    pub fn region_energy_pj(&self, region: RegionId) -> u64 {
+        self.stats[region.index()]
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|s| s.energy_pj)
+            .sum()
+    }
+
+    /// Cycles spent in a region, across both phases.
+    pub fn region_cycles(&self, region: RegionId) -> u64 {
+        self.stats[region.index()]
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|s| s.cycles)
+            .sum()
+    }
+
+    /// Cycles spent in one phase of a region.
+    pub fn region_phase_cycles(&self, region: RegionId, phase: Phase) -> u64 {
+        self.stats[region.index()][phase.index()]
+            .iter()
+            .map(|s| s.cycles)
+            .sum()
+    }
+
+    /// Energy spent in one phase of a region.
+    pub fn region_phase_energy_pj(&self, region: RegionId, phase: Phase) -> u64 {
+        self.stats[region.index()][phase.index()]
+            .iter()
+            .map(|s| s.energy_pj)
+            .sum()
+    }
+
+    /// Energy per operation class, summed over a region's phases.
+    pub fn region_energy_by_op(&self, region: RegionId) -> [(Op, u64); Op::COUNT] {
+        let mut out = [(Op::Nop, 0u64); Op::COUNT];
+        for (i, op) in Op::ALL.iter().enumerate() {
+            let e: u64 = Phase::ALL
+                .iter()
+                .map(|p| self.stats[region.index()][p.index()][op.index()].energy_pj)
+                .sum();
+            out[i] = (*op, e);
+        }
+        out
+    }
+
+    /// Energy per operation class, totalled over all regions.
+    pub fn energy_by_op(&self) -> [(Op, u64); Op::COUNT] {
+        let mut out = [(Op::Nop, 0u64); Op::COUNT];
+        for (i, op) in Op::ALL.iter().enumerate() {
+            let mut e = 0u64;
+            for r in &self.stats {
+                for p in r {
+                    e += p[op.index()].energy_pj;
+                }
+            }
+            out[i] = (*op, e);
+        }
+        out
+    }
+
+    /// Count of one op class, totalled over all regions and phases.
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.stats
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|p| p[op.index()].count)
+            .sum()
+    }
+
+    /// Produces an immutable summary snapshot.
+    pub fn report(&self) -> TraceReport {
+        TraceReport {
+            regions: self
+                .region_names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let id = RegionId(i as u16);
+                    RegionReport {
+                        name: name.clone(),
+                        kernel_cycles: self.region_phase_cycles(id, Phase::Kernel),
+                        control_cycles: self.region_phase_cycles(id, Phase::Control),
+                        kernel_energy_pj: self.region_phase_energy_pj(id, Phase::Kernel),
+                        control_energy_pj: self.region_phase_energy_pj(id, Phase::Control),
+                        index_write_energy_pj: self
+                            .stat(id, Phase::Control, Op::FramWrite)
+                            .energy_pj,
+                        energy_by_op: self.region_energy_by_op(id),
+                    }
+                })
+                .collect(),
+            live_cycles: self.live_cycles,
+            dead_secs: self.dead_secs,
+            reboots: self.reboots,
+            total_energy_pj: self.total_energy_pj(),
+        }
+    }
+}
+
+/// Per-region summary inside a [`TraceReport`].
+#[derive(Clone, Debug)]
+pub struct RegionReport {
+    /// Region name as registered.
+    pub name: String,
+    /// Cycles in the kernel phase.
+    pub kernel_cycles: u64,
+    /// Cycles in the control phase.
+    pub control_cycles: u64,
+    /// Energy in the kernel phase (pJ).
+    pub kernel_energy_pj: u64,
+    /// Energy in the control phase (pJ).
+    pub control_energy_pj: u64,
+    /// Energy of control-phase FRAM writes (pJ): SONIC's loop-index
+    /// writes, reported separately in the paper's §9.4.
+    pub index_write_energy_pj: u64,
+    /// Energy per op class (pJ).
+    pub energy_by_op: [(Op, u64); Op::COUNT],
+}
+
+/// Immutable summary of a [`Trace`].
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// One entry per registered region, in registration order.
+    pub regions: Vec<RegionReport>,
+    /// Total live cycles.
+    pub live_cycles: u64,
+    /// Total dead (recharge) seconds.
+    pub dead_secs: f64,
+    /// Number of reboots.
+    pub reboots: u64,
+    /// Total energy (pJ).
+    pub total_energy_pj: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Cost;
+
+    #[test]
+    fn register_region_is_idempotent() {
+        let mut t = Trace::new();
+        let a = t.register_region("conv1");
+        let b = t.register_region("conv1");
+        assert_eq!(a, b);
+        let c = t.register_region("fc");
+        assert_ne!(a, c);
+        assert_eq!(t.region_names(), &["other", "conv1", "fc"]);
+    }
+
+    #[test]
+    fn charge_accumulates_per_cell() {
+        let mut t = Trace::new();
+        let r = t.register_region("conv1");
+        t.charge(r, Phase::Kernel, Op::FxpMul, 3, Cost::new(11, 825));
+        t.charge(r, Phase::Control, Op::Branch, 1, Cost::new(2, 150));
+        let s = t.stat(r, Phase::Kernel, Op::FxpMul);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.cycles, 33);
+        assert_eq!(s.energy_pj, 2475);
+        assert_eq!(t.region_phase_cycles(r, Phase::Control), 2);
+        assert_eq!(t.live_cycles(), 35);
+        assert_eq!(t.total_energy_pj(), 2625);
+    }
+
+    #[test]
+    fn region_energy_sums_phases() {
+        let mut t = Trace::new();
+        let r = t.register_region("fc");
+        t.charge(r, Phase::Kernel, Op::FramRead, 2, Cost::new(2, 200));
+        t.charge(r, Phase::Control, Op::FramWrite, 1, Cost::new(4, 700));
+        assert_eq!(t.region_energy_pj(r), 1100);
+        assert_eq!(t.region_cycles(r), 8);
+        // Other region untouched.
+        assert_eq!(t.region_energy_pj(RegionId::OTHER), 0);
+    }
+
+    #[test]
+    fn energy_by_op_totals_across_regions() {
+        let mut t = Trace::new();
+        let a = t.register_region("a");
+        let b = t.register_region("b");
+        t.charge(a, Phase::Kernel, Op::Incr, 1, Cost::new(1, 75));
+        t.charge(b, Phase::Kernel, Op::Incr, 2, Cost::new(1, 75));
+        let by_op = t.energy_by_op();
+        let incr = by_op.iter().find(|(op, _)| *op == Op::Incr).unwrap().1;
+        assert_eq!(incr, 225);
+        assert_eq!(t.op_count(Op::Incr), 3);
+    }
+
+    #[test]
+    fn report_snapshot_matches_queries() {
+        let mut t = Trace::new();
+        let r = t.register_region("conv");
+        t.charge(r, Phase::Kernel, Op::FxpMul, 10, Cost::new(11, 825));
+        t.add_dead_time(1.5);
+        t.add_reboot();
+        let rep = t.report();
+        assert_eq!(rep.reboots, 1);
+        assert!((rep.dead_secs - 1.5).abs() < 1e-12);
+        assert_eq!(rep.live_cycles, 110);
+        assert_eq!(rep.regions.len(), 2);
+        assert_eq!(rep.regions[1].name, "conv");
+        assert_eq!(rep.regions[1].kernel_cycles, 110);
+        assert_eq!(rep.regions[1].control_cycles, 0);
+    }
+
+    #[test]
+    fn progress_marks_count() {
+        let mut t = Trace::new();
+        t.mark_progress();
+        t.mark_progress();
+        assert_eq!(t.progress_marks(), 2);
+    }
+
+    #[test]
+    fn phase_labels() {
+        assert_eq!(Phase::Kernel.label(), "kernel");
+        assert_eq!(format!("{}", Phase::Control), "control");
+    }
+}

@@ -1,0 +1,33 @@
+//! Keyword spotting (the paper's OkG workload) with TAILS: hardware
+//! acceleration, one-time calibration, and the LEA/DMA ablation.
+//!
+//! Run with: `cargo run --release --example keyword_spotting`
+
+use sonic_tails::mcu::{DeviceSpec, PowerSystem};
+use sonic_tails::models::{trained, Network};
+use sonic_tails::sonic::exec::{run_inference, Backend, TailsConfig};
+
+fn main() {
+    let net = trained(Network::Okg);
+    println!(
+        "OkG network: {} FRAM words, quantized accuracy {:.3}",
+        net.qmodel.fram_words(),
+        net.accuracy
+    );
+    let spec = DeviceSpec::msp430fr5994();
+    let input = net.qmodel.quantize_input(&net.test.input(0));
+    for (name, cfg) in [
+        ("TAILS (LEA+DMA)", TailsConfig { use_lea: true, use_dma: true }),
+        ("no LEA", TailsConfig { use_lea: false, use_dma: true }),
+        ("no DMA", TailsConfig { use_lea: true, use_dma: false }),
+    ] {
+        let out = run_inference(&net.qmodel, &input, &spec, PowerSystem::cap_1mf(), &Backend::Tails(cfg));
+        println!(
+            "{name:<16}: class {:?}, live {:.4} s, energy {:.3} mJ, {} reboots",
+            out.class,
+            out.live_secs(&spec),
+            out.energy_mj(),
+            out.trace.reboots
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: train a tiny classifier, compress it, deploy it on the
+//! simulated energy-harvesting MCU, and run inference across power
+//! systems with SONIC.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sonic_tails::dnn::layers::Layer;
+use sonic_tails::dnn::model::Model;
+use sonic_tails::dnn::quant::quantize;
+use sonic_tails::dnn::train::{toy_blobs, train, TrainConfig};
+use sonic_tails::mcu::{DeviceSpec, PowerSystem};
+use sonic_tails::sonic::exec::{run_inference, Backend};
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A small network on a toy 3-class problem.
+    let data = toy_blobs(60, 3, 12, 42);
+    let (train_set, test_set) = data.split(0.8);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut model = Model::new(vec![
+        Layer::dense(12, 24, &mut rng),
+        Layer::relu(),
+        Layer::dense(24, 3, &mut rng),
+    ]);
+    train(&mut model, &train_set, &TrainConfig::default());
+
+    // 2. Quantize to the deployable Q1.15 form.
+    let calib: Vec<_> = (0..4).map(|i| train_set.input(i)).collect();
+    let qm = quantize(&mut model, &[12], &calib);
+    println!("deployed footprint: {} FRAM words", qm.fram_words());
+
+    // 3. Run on the device, from bench power down to a 100 uF capacitor.
+    let spec = DeviceSpec::msp430fr5994();
+    let input = qm.quantize_input(&test_set.input(0));
+    for power in [PowerSystem::continuous(), PowerSystem::cap_1mf(), PowerSystem::cap_100uf()] {
+        let out = run_inference(&qm, &input, &spec, power, &Backend::Sonic);
+        println!(
+            "{:>5}: class {:?} (truth {}), {} power failures, {:.3} mJ, {:.4} s total",
+            power.label(),
+            out.class,
+            test_set.label(0),
+            out.trace.reboots,
+            out.energy_mj(),
+            out.total_secs(&spec),
+        );
+    }
+}

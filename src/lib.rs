@@ -1,0 +1,44 @@
+//! SONIC & TAILS — a full-system reproduction of *Intelligence Beyond the
+//! Edge: Inference on Intermittent Embedded Systems* (ASPLOS'19) in Rust.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`fxp`]: Q1.15 fixed-point arithmetic.
+//! - [`mcu`]: the MSP430FR5994-like energy-metered device model.
+//! - [`intermittent`]: the task-based intermittent runtime substrate
+//!   (Alpaca-style redo logging, scheduler, non-termination detection).
+//! - [`dnn`]: tensors, layers, training, quantization, synthetic datasets.
+//! - [`genesis`]: automatic compression balancing accuracy vs energy
+//!   (pruning, separation, Pareto search, the IMpJ model).
+//! - [`sonic`]: the SONIC & TAILS inference runtimes plus the baseline and
+//!   Tile-N comparators.
+//! - [`models`]: the three paper networks, trained and cached.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use sonic_tails::models::{trained, Network};
+//! use sonic_tails::sonic::exec::{run_inference, Backend};
+//! use sonic_tails::mcu::{DeviceSpec, PowerSystem};
+//!
+//! let net = trained(Network::Har);
+//! let input = net.qmodel.quantize_input(&net.test.input(0));
+//! let out = run_inference(
+//!     &net.qmodel,
+//!     &input,
+//!     &DeviceSpec::msp430fr5994(),
+//!     PowerSystem::cap_100uf(),
+//!     &Backend::Sonic,
+//! );
+//! println!("class {:?} after {} power failures", out.class, out.trace.reboots);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dnn;
+pub use fxp;
+pub use genesis;
+pub use intermittent;
+pub use mcu;
+pub use models;
+pub use sonic;

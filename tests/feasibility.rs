@@ -1,0 +1,48 @@
+//! Integration test: the deployment feasibility constraint is real — a
+//! model larger than FRAM is rejected by deploy, which is exactly the
+//! boundary GENESIS's feasibility filter enforces.
+
+use rand::SeedableRng;
+use sonic_tails::dnn::layers::Layer;
+use sonic_tails::dnn::model::Model;
+use sonic_tails::dnn::quant::quantize;
+use sonic_tails::dnn::tensor::Tensor;
+use sonic_tails::mcu::{Device, DeviceSpec, PowerSystem};
+use sonic_tails::sonic::deploy::deploy;
+
+#[test]
+fn oversized_model_fails_to_deploy() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    // ~90 K dense weights in one layer, plus double buffers: exceeds the
+    // 128 K-word FRAM once activations and a second big layer are added.
+    let mut model = Model::new(vec![
+        Layer::dense(600, 120, &mut rng),
+        Layer::relu(),
+        Layer::dense(120, 600, &mut rng),
+        Layer::relu(),
+        Layer::dense(600, 120, &mut rng),
+    ]);
+    let calib: Vec<Tensor> =
+        (0..2).map(|_| Tensor::uniform(vec![600], 0.9, &mut rng)).collect();
+    let qm = quantize(&mut model, &[600], &calib);
+    // Artificially shrink the device to make the point cheaply.
+    let mut spec = DeviceSpec::msp430fr5994();
+    spec.fram_words = 10_000;
+    let mut dev = Device::new(spec, PowerSystem::continuous());
+    let err = deploy(&mut dev, &qm).unwrap_err();
+    assert!(err.fram, "should run out of FRAM: {err}");
+}
+
+#[test]
+fn feasible_model_deploys_within_budget() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let mut model = Model::new(vec![Layer::dense(64, 10, &mut rng)]);
+    let calib: Vec<Tensor> =
+        (0..2).map(|_| Tensor::uniform(vec![64], 0.9, &mut rng)).collect();
+    let qm = quantize(&mut model, &[64], &calib);
+    let mut dev = Device::new(DeviceSpec::msp430fr5994(), PowerSystem::continuous());
+    let dm = deploy(&mut dev, &qm).expect("should fit");
+    assert!(dev.fram_available() > 0);
+    assert_eq!(dm.output_len, 10);
+    assert_eq!(dm.input_len, 64);
+}

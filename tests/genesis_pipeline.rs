@@ -1,0 +1,57 @@
+//! Integration test: GENESIS end to end on a miniature network — sweep,
+//! Pareto, feasibility, choice, deployment of the chosen configuration.
+
+use dnn::train::TrainConfig;
+use sonic_tails::dnn;
+use sonic_tails::genesis::imp::WILDLIFE;
+use sonic_tails::genesis::search::{choose, sweep, EvalContext, SearchSpace};
+use sonic_tails::mcu::{CostTable, DeviceSpec, PowerSystem};
+use sonic_tails::sonic::exec::{run_inference, Backend};
+use rand::SeedableRng;
+
+#[test]
+fn genesis_chooses_a_deployable_configuration() {
+    let data = dnn::train::toy_blobs(40, 3, 20, 21);
+    let (train, test) = data.split(0.8);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let base = dnn::model::Model::new(vec![
+        dnn::layers::Layer::dense(20, 32, &mut rng),
+        dnn::layers::Layer::relu(),
+        dnn::layers::Layer::dense(32, 3, &mut rng),
+    ]);
+    let costs = CostTable::msp430fr5994();
+    let ctx = EvalContext {
+        train: &train,
+        test: &test,
+        retrain: TrainConfig { epochs: 3, ..TrainConfig::default() },
+        fram_budget_words: 125_000,
+        costs: &costs,
+        interesting_class: 0,
+        app: WILDLIFE,
+    };
+    let space = SearchSpace {
+        conv_seps: vec![None],
+        conv_densities: vec![1.0],
+        fc_ranks: vec![None, Some(8)],
+        fc_densities: vec![1.0, 0.2],
+    };
+    let results = sweep(&base, &space, &ctx);
+    assert!(results.iter().any(|r| r.pareto), "frontier must be non-empty");
+    let chosen = choose(&results).expect("a feasible configuration exists");
+    assert!(chosen.feasible);
+
+    // The chosen configuration actually runs on the device, intermittently.
+    let mut model = chosen.model.clone();
+    let calib: Vec<dnn::tensor::Tensor> = (0..4).map(|i| train.input(i)).collect();
+    let qm = dnn::quant::quantize(&mut model, &[20], &calib);
+    let input = qm.quantize_input(&test.input(0));
+    let out = run_inference(
+        &qm,
+        &input,
+        &DeviceSpec::msp430fr5994(),
+        PowerSystem::cap_100uf(),
+        &Backend::Sonic,
+    );
+    assert!(out.completed);
+    assert_eq!(out.output.len(), 3);
+}

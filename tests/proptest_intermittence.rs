@@ -1,0 +1,100 @@
+//! Property test: for randomly generated networks and inputs, SONIC's
+//! intermittent execution is bit-identical to its continuous execution —
+//! the paper's core correctness guarantee.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sonic_tails::dnn::layers::Layer;
+use sonic_tails::dnn::model::Model;
+use sonic_tails::dnn::quant::quantize;
+use sonic_tails::dnn::tensor::Tensor;
+use sonic_tails::mcu::{DeviceSpec, PowerSystem};
+use sonic_tails::sonic::exec::{run_inference, Backend, TailsConfig};
+
+fn random_qmodel(seed: u64, filters: usize, hidden: usize, prune: bool)
+    -> (sonic_tails::dnn::quant::QModel, Vec<fxp::Q15>)
+{
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut model = Model::new(vec![
+        Layer::conv2d(filters, 1, 3, 3, &mut rng),
+        Layer::relu(),
+        Layer::maxpool(2),
+        Layer::flatten(),
+        Layer::dense(filters * 5 * 5, hidden, &mut rng),
+        Layer::relu(),
+        Layer::dense(hidden, 4, &mut rng),
+    ]);
+    if prune {
+        let l = &mut model.layers_mut()[4];
+        if let Layer::Dense(d) = l {
+            let mut mask = Tensor::zeros(d.w.shape().to_vec());
+            for (i, m) in mask.data_mut().iter_mut().enumerate() {
+                if i % 5 == 0 {
+                    *m = 1.0;
+                }
+            }
+            l.set_mask(mask);
+        }
+    }
+    let shape = [1usize, 12, 12];
+    let calib: Vec<Tensor> = (0..2)
+        .map(|_| Tensor::uniform(shape.to_vec(), 0.9, &mut rng))
+        .collect();
+    let qm = quantize(&mut model, &shape, &calib);
+    let x = Tensor::uniform(shape.to_vec(), 0.9, &mut rng);
+    let input = qm.quantize_input(&x);
+    (qm, input)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sonic_intermittent_matches_continuous(
+        seed in 0u64..1000,
+        filters in 2usize..5,
+        hidden in 4usize..12,
+        prune in any::<bool>(),
+        cap_uf in 3.0f64..40.0,
+    ) {
+        let (qm, input) = random_qmodel(seed, filters, hidden, prune);
+        let spec = DeviceSpec::msp430fr5994();
+        let cont = run_inference(&qm, &input, &spec, PowerSystem::continuous(), &Backend::Sonic);
+        let inter = run_inference(
+            &qm, &input, &spec,
+            PowerSystem::harvested(cap_uf * 1e-6),
+            &Backend::Sonic,
+        );
+        prop_assert!(inter.completed);
+        prop_assert_eq!(inter.output, cont.output);
+    }
+
+    #[test]
+    fn tails_intermittent_matches_continuous(
+        seed in 0u64..1000,
+        cap_uf in 3.0f64..30.0,
+    ) {
+        let (qm, input) = random_qmodel(seed, 3, 8, true);
+        let spec = DeviceSpec::msp430fr5994();
+        let b = Backend::Tails(TailsConfig::default());
+        let cont = run_inference(&qm, &input, &spec, PowerSystem::continuous(), &b);
+        let inter = run_inference(&qm, &input, &spec, PowerSystem::harvested(cap_uf * 1e-6), &b);
+        prop_assert!(inter.completed);
+        prop_assert_eq!(inter.output, cont.output);
+    }
+
+    #[test]
+    fn tiled_intermittent_matches_continuous(
+        seed in 0u64..1000,
+        tile in prop::sample::select(vec![8u32, 32]),
+        cap_uf in 8.0f64..40.0,
+    ) {
+        let (qm, input) = random_qmodel(seed, 3, 8, false);
+        let spec = DeviceSpec::msp430fr5994();
+        let b = Backend::Tiled(tile);
+        let cont = run_inference(&qm, &input, &spec, PowerSystem::continuous(), &b);
+        let inter = run_inference(&qm, &input, &spec, PowerSystem::harvested(cap_uf * 1e-6), &b);
+        prop_assert!(inter.completed);
+        prop_assert_eq!(inter.output, cont.output);
+    }
+}
