@@ -6,5 +6,7 @@ fn main() {
         println!("== sparse-FC ablation ({}) ==", tn.network.label());
         println!("{}", bench::experiments::ablation_sparse_undo(tn).render());
     }
-    println!("paper: loop-ordered buffering on sparse FC wastes energy copying unmodified activations");
+    println!(
+        "paper: loop-ordered buffering on sparse FC wastes energy copying unmodified activations"
+    );
 }

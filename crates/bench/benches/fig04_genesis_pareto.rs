@@ -2,7 +2,10 @@
 use models::Network;
 fn main() {
     for n in Network::ALL {
-        println!("== Fig. 4 ({}) : accuracy vs MACs, feasibility, Pareto ==", n.label());
+        println!(
+            "== Fig. 4 ({}) : accuracy vs MACs, feasibility, Pareto ==",
+            n.label()
+        );
         let (fig4, _, chosen) = bench::experiments::fig_genesis(n);
         println!("{}", fig4.render());
         println!("{chosen}\n");

@@ -9,7 +9,10 @@ fn main() {
     println!("{}", t.render());
     println!("== §9.1 headline ratios (continuous power) ==");
     println!("{}", bench::experiments::continuous_ratios(&raw).render());
-    println!("== non-termination crossover (buffer-size sweep, {}) ==", nets[0].network.label());
+    println!(
+        "== non-termination crossover (buffer-size sweep, {}) ==",
+        nets[0].network.label()
+    );
     println!("{}", bench::experiments::dnc_crossover(&nets[0]).render());
     println!("paper: Tile-128 fails at 100 uF; our calibrated crossover sits at a smaller buffer");
 }

@@ -14,5 +14,8 @@ fn main() {
         );
     }
     println!("\n== §10: future intermittent-architecture opportunities (MNIST, SONIC) ==");
-    println!("{}", bench::experiments::future_architecture(&raw[0].3).render());
+    println!(
+        "{}",
+        bench::experiments::future_architecture(&raw[0].3).render()
+    );
 }

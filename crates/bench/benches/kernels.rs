@@ -1,15 +1,207 @@
-//! Criterion micro-benchmarks: simulator throughput for the core kernels.
+//! Criterion micro-benchmarks for the inference hot paths.
+//!
+//! Three sections:
+//!
+//! 1. **f32 convolution** — the naive 6-loop reference vs. the
+//!    im2col/GEMM path, on the Table-2 network shapes. The acceptance
+//!    bar for the kernel rework is a ≥3× speedup on these; the printed
+//!    `speedup` lines make that visible directly.
+//! 2. **Q15 deployed kernels** — the restructured `conv_host` /
+//!    `dense_host` vs. the element-at-a-time reference loops, dense and
+//!    sparse, with MAC throughput.
+//! 3. **Simulator backends** — end-to-end `run_inference` on the
+//!    energy-metered device model (the original contents of this bench).
+//!
+//! `CRITERION_QUICK=1` shrinks the measurement budget for CI smoke runs.
+
 use criterion::{criterion_group, criterion_main, Criterion};
+use dnn::im2col::{conv2d_im2col, conv2d_naive, conv_out_dims};
 use dnn::layers::Layer;
 use dnn::model::Model;
-use dnn::quant::quantize;
+use dnn::quant::{
+    conv_host, conv_host_reference, csr_from_weights, dense_host, dense_host_reference, quantize,
+    sparse_taps_from_weights, QConv, QDense,
+};
 use dnn::tensor::Tensor;
+use fxp::Q15;
 use mcu::{DeviceSpec, PowerSystem};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sonic::exec::{run_inference, Backend, TailsConfig};
 
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// The Table-2 convolution shapes: (label, nf, c, kh, kw, h, w).
+const CONV_SHAPES: [(&str, usize, usize, usize, usize, usize, usize); 4] = [
+    ("mnist-conv1-20x1x5x5", 20, 1, 5, 5, 28, 28),
+    ("mnist-conv2-100x20x5x5", 100, 20, 5, 5, 12, 12),
+    ("har-conv-98x3x1x12", 98, 3, 1, 12, 1, 61),
+    ("okg-conv-186x1x98x8", 186, 1, 98, 8, 98, 34),
+];
+
+fn report_throughput(label: &str, macs: u64, ns: f64) {
+    println!("    {label}: {:.0} MMAC/s", macs as f64 / ns * 1e3);
+}
+
+fn bench_f32_conv(c: &mut Criterion) {
+    println!("== f32 convolution: naive loop nest vs im2col/GEMM (Table 2 shapes) ==");
+    let mut speedups = Vec::new();
+    for (label, nf, nc, kh, kw, h, w) in CONV_SHAPES {
+        let mut r = rng(11);
+        let x: Vec<f32> = (0..nc * h * w).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let filters: Vec<f32> = (0..nf * nc * kh * kw)
+            .map(|_| r.gen_range(-1.0..1.0))
+            .collect();
+        let bias: Vec<f32> = (0..nf).map(|_| r.gen_range(-0.5..0.5)).collect();
+        let (oh, ow) = conv_out_dims(h, w, kh, kw);
+        let macs = (nf * nc * kh * kw * oh * ow) as u64;
+        let mut out = vec![0.0f32; nf * oh * ow];
+        let mut patches = Vec::new();
+
+        let naive_id = format!("conv-f32-naive/{label}");
+        c.bench_function(&naive_id, |b| {
+            b.iter(|| {
+                conv2d_naive(&x, &filters, &bias, nc, h, w, nf, kh, kw, &mut out);
+                out[0]
+            })
+        });
+        let im2col_id = format!("conv-f32-im2col/{label}");
+        c.bench_function(&im2col_id, |b| {
+            b.iter(|| {
+                conv2d_im2col(
+                    &x,
+                    &filters,
+                    &bias,
+                    nc,
+                    h,
+                    w,
+                    nf,
+                    kh,
+                    kw,
+                    &mut patches,
+                    &mut out,
+                );
+                out[0]
+            })
+        });
+        let (naive_ns, fast_ns) = (
+            c.median_ns(&naive_id).expect("naive measured"),
+            c.median_ns(&im2col_id).expect("im2col measured"),
+        );
+        let speedup = naive_ns / fast_ns;
+        report_throughput("im2col", macs, fast_ns);
+        println!("    speedup {label}: {speedup:.2}x");
+        speedups.push(speedup);
+    }
+    let geomean = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    println!("  conv forward geomean speedup: {:.2}x\n", geomean.exp());
+}
+
+fn random_q15(r: &mut rand::rngs::StdRng) -> Q15 {
+    Q15::from_raw(r.gen_range(-32768..32768i32) as i16)
+}
+
+fn q15_conv_case(
+    nf: usize,
+    nc: usize,
+    kh: usize,
+    kw: usize,
+    h: usize,
+    w: usize,
+    density: Option<f64>,
+) -> (QConv, Vec<Q15>) {
+    let mut r = rng(13);
+    let mut weights: Vec<Q15> = (0..nf * nc * kh * kw).map(|_| random_q15(&mut r)).collect();
+    let sparse = density.map(|d| {
+        for v in weights.iter_mut() {
+            if r.gen_bool(1.0 - d) {
+                *v = Q15::ZERO;
+            }
+        }
+        sparse_taps_from_weights([nf, nc, kh, kw], &weights)
+    });
+    let conv = QConv {
+        dims: [nf, nc, kh, kw],
+        weights,
+        bias: (0..nf).map(|_| random_q15(&mut r)).collect(),
+        shift: 0,
+        sparse,
+    };
+    let x: Vec<Q15> = (0..nc * h * w).map(|_| random_q15(&mut r)).collect();
+    (conv, x)
+}
+
+fn bench_q15_kernels(c: &mut Criterion) {
+    println!("== Q15 deployed kernels: reference loops vs restructured vecops paths ==");
+    // Dense conv (MNIST conv1 shape) and a 30%-density sparse variant.
+    let (nf, nc, kh, kw, h, w) = (20, 1, 5, 5, 28, 28);
+    for (label, density) in [("dense", None), ("sparse30", Some(0.3))] {
+        let (conv, x) = q15_conv_case(nf, nc, kh, kw, h, w, density);
+        let shape = [nc, h, w];
+        let nnz: u64 = match &conv.sparse {
+            Some(s) => s.taps.iter().map(|t| t.len() as u64).sum(),
+            None => conv.weights.len() as u64,
+        };
+        let (oh, ow) = conv_out_dims(h, w, kh, kw);
+        let (oh, ow) = (oh as u64, ow as u64);
+        let ref_id = format!("conv-q15-reference/{label}");
+        c.bench_function(&ref_id, |b| {
+            b.iter(|| conv_host_reference(&conv, &x, &shape))
+        });
+        let opt_id = format!("conv-q15-optimized/{label}");
+        c.bench_function(&opt_id, |b| b.iter(|| conv_host(&conv, &x, &shape)));
+        let (ref_ns, opt_ns) = (
+            c.median_ns(&ref_id).expect("measured"),
+            c.median_ns(&opt_id).expect("measured"),
+        );
+        report_throughput("optimized", nnz * oh * ow, opt_ns);
+        println!("    speedup conv-q15/{label}: {:.2}x", ref_ns / opt_ns);
+    }
+
+    // Fully-connected fc 200x1600 (MNIST's big layer), dense and 5% CSR.
+    let (out_n, in_n) = (200usize, 1600usize);
+    let mut r = rng(17);
+    for (label, density) in [("dense", 1.0f64), ("sparse05", 0.05)] {
+        let mut weights: Vec<Q15> = (0..out_n * in_n).map(|_| random_q15(&mut r)).collect();
+        let sparse = (density < 1.0).then(|| {
+            for v in weights.iter_mut() {
+                if r.gen_bool(1.0 - density) {
+                    *v = Q15::ZERO;
+                }
+            }
+            csr_from_weights([out_n, in_n], &weights)
+        });
+        let nnz = match &sparse {
+            Some(s) => s.val.len() as u64,
+            None => (out_n * in_n) as u64,
+        };
+        let dense_layer = QDense {
+            dims: [out_n, in_n],
+            weights,
+            bias: (0..out_n).map(|_| random_q15(&mut r)).collect(),
+            shift: 0,
+            sparse,
+        };
+        let x: Vec<Q15> = (0..in_n).map(|_| random_q15(&mut r)).collect();
+        let ref_id = format!("fc-q15-reference/{label}");
+        c.bench_function(&ref_id, |b| {
+            b.iter(|| dense_host_reference(&dense_layer, &x))
+        });
+        let opt_id = format!("fc-q15-optimized/{label}");
+        c.bench_function(&opt_id, |b| b.iter(|| dense_host(&dense_layer, &x)));
+        let (ref_ns, opt_ns) = (
+            c.median_ns(&ref_id).expect("measured"),
+            c.median_ns(&opt_id).expect("measured"),
+        );
+        report_throughput("optimized", nnz, opt_ns);
+        println!("    speedup fc-q15/{label}: {:.2}x", ref_ns / opt_ns);
+    }
+    println!();
+}
+
 fn tiny() -> (dnn::quant::QModel, Vec<fxp::Q15>) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = rng(5);
     let mut m = Model::new(vec![
         Layer::conv2d(4, 1, 3, 3, &mut rng),
         Layer::relu(),
@@ -27,6 +219,7 @@ fn tiny() -> (dnn::quant::QModel, Vec<fxp::Q15>) {
 }
 
 fn bench_backends(c: &mut Criterion) {
+    println!("== end-to-end simulator throughput per backend ==");
     let (qm, input) = tiny();
     let spec = DeviceSpec::msp430fr5994();
     for b in [
@@ -49,5 +242,5 @@ fn bench_backends(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_backends);
+criterion_group!(benches, bench_f32_conv, bench_q15_kernels, bench_backends);
 criterion_main!(benches);

@@ -81,7 +81,13 @@ pub fn fig_genesis(network: Network) -> (Table, Table, String) {
     let results = sweep(&base, &space, &ctx);
 
     let mut fig4 = Table::new(&[
-        "config", "technique", "MACs", "fram-words", "feasible", "accuracy", "pareto",
+        "config",
+        "technique",
+        "MACs",
+        "fram-words",
+        "feasible",
+        "accuracy",
+        "pareto",
     ]);
     for r in &results {
         fig4.row(vec![
@@ -110,7 +116,12 @@ pub fn fig_genesis(network: Network) -> (Table, Table, String) {
     save_csv(&format!("fig05-{}", network.label()), &fig5);
 
     let chosen = choose(&results)
-        .map(|c| format!("chosen: {} (IMpJ {:.3}, accuracy {:.3})", c.label, c.impj, c.accuracy))
+        .map(|c| {
+            format!(
+                "chosen: {} (IMpJ {:.3}, accuracy {:.3})",
+                c.label, c.impj, c.accuracy
+            )
+        })
         .unwrap_or_else(|| "no feasible configuration".to_string());
     (fig4, fig5, chosen)
 }
@@ -119,7 +130,12 @@ pub fn fig_genesis(network: Network) -> (Table, Table, String) {
 /// accuracy.
 pub fn table2(nets: &[TrainedNetwork]) -> Table {
     let mut t = Table::new(&[
-        "network", "layer", "deployed", "params(words)", "accuracy(q)", "paper-acc",
+        "network",
+        "layer",
+        "deployed",
+        "params(words)",
+        "accuracy(q)",
+        "paper-acc",
     ]);
     for tn in nets {
         let mut shape = tn.qmodel.input_shape.clone();
@@ -163,11 +179,7 @@ pub fn table2(nets: &[TrainedNetwork]) -> Table {
 }
 
 /// One Fig. 9 cell: a single inference of `net` with `backend` on `power`.
-pub fn run_cell(
-    tn: &TrainedNetwork,
-    backend: &Backend,
-    power: PowerSystem,
-) -> InferenceOutcome {
+pub fn run_cell(tn: &TrainedNetwork, backend: &Backend, power: PowerSystem) -> InferenceOutcome {
     let spec = DeviceSpec::msp430fr5994();
     let input = tn.qmodel.quantize_input(&tn.test.input(0));
     run_inference(&tn.qmodel, &input, &spec, power, backend)
@@ -182,7 +194,14 @@ pub fn fig9(
 ) -> (Table, Vec<(String, String, String, InferenceOutcome)>) {
     let spec = DeviceSpec::msp430fr5994();
     let mut t = Table::new(&[
-        "network", "power", "impl", "completed", "live(s)", "dead(s)", "total(s)", "energy(mJ)",
+        "network",
+        "power",
+        "impl",
+        "completed",
+        "live(s)",
+        "dead(s)",
+        "total(s)",
+        "energy(mJ)",
         "reboots",
     ]);
     let mut raw = Vec::new();
@@ -194,7 +213,11 @@ pub fn fig9(
                     tn.network.label().to_string(),
                     power.label(),
                     backend.label(),
-                    if out.completed { "yes".into() } else { "DNC".into() },
+                    if out.completed {
+                        "yes".into()
+                    } else {
+                        "DNC".into()
+                    },
                     secs(out.live_secs(&spec)),
                     secs(out.trace.dead_secs),
                     secs(out.total_secs(&spec)),
@@ -245,7 +268,11 @@ pub fn continuous_ratios(raw: &[(String, String, String, InferenceOutcome)]) -> 
                 n += 1;
             }
         }
-        let g = if n > 0 { prod.powf(1.0 / n as f64) } else { f64::NAN };
+        let g = if n > 0 {
+            prod.powf(1.0 / n as f64)
+        } else {
+            f64::NAN
+        };
         t.row(vec![imp.to_string(), ratio(g), paper_note.to_string()]);
     }
     save_csv("fig09-ratios", &t);
@@ -287,7 +314,11 @@ pub fn fig11(raw: &[(String, String, String, InferenceOutcome)]) -> Table {
         t.row(vec![
             net.clone(),
             imp.clone(),
-            if out.completed { "yes".into() } else { "DNC".into() },
+            if out.completed {
+                "yes".into()
+            } else {
+                "DNC".into()
+            },
             format!("{:.3}", out.energy_mj()),
         ]);
     }
@@ -327,7 +358,10 @@ pub fn fig12(raw: &[(String, String, String, InferenceOutcome)]) -> Table {
             cat("load", by_op(Op::FramRead) + by_op(Op::SramRead));
             // Control-phase FRAM writes are the loop-index writes (§9.4).
             let index_writes = r.index_write_energy_pj as f64;
-            cat("store", by_op(Op::FramWrite) + by_op(Op::SramWrite) - index_writes);
+            cat(
+                "store",
+                by_op(Op::FramWrite) + by_op(Op::SramWrite) - index_writes,
+            );
             cat("index-writes", index_writes);
             cat("add", by_op(Op::Alu));
             cat("increment", by_op(Op::Incr));
@@ -388,10 +422,34 @@ pub fn future_architecture(out: &InferenceOutcome) -> Table {
 pub fn ablation_tails(tn: &TrainedNetwork) -> Table {
     let spec = DeviceSpec::msp430fr5994();
     let variants = [
-        ("TAILS", TailsConfig { use_lea: true, use_dma: true }),
-        ("no-LEA", TailsConfig { use_lea: false, use_dma: true }),
-        ("no-DMA", TailsConfig { use_lea: true, use_dma: false }),
-        ("software", TailsConfig { use_lea: false, use_dma: false }),
+        (
+            "TAILS",
+            TailsConfig {
+                use_lea: true,
+                use_dma: true,
+            },
+        ),
+        (
+            "no-LEA",
+            TailsConfig {
+                use_lea: false,
+                use_dma: true,
+            },
+        ),
+        (
+            "no-DMA",
+            TailsConfig {
+                use_lea: true,
+                use_dma: false,
+            },
+        ),
+        (
+            "software",
+            TailsConfig {
+                use_lea: false,
+                use_dma: false,
+            },
+        ),
     ];
     let mut t = Table::new(&["variant", "live(s)", "energy(mJ)", "vs TAILS"]);
     let mut base_cycles = None;
@@ -445,7 +503,11 @@ pub fn dnc_crossover(tn: &TrainedNetwork) -> Table {
         let mut row = vec![backend.label()];
         for cap in caps_uf {
             let out = run_cell(tn, &backend, PowerSystem::harvested(cap * 1e-6));
-            row.push(if out.completed { "yes".into() } else { "DNC".into() });
+            row.push(if out.completed {
+                "yes".into()
+            } else {
+                "DNC".into()
+            });
         }
         t.row(row);
     }
@@ -487,7 +549,11 @@ pub fn fig6() -> Table {
         let r = run(&mut g, &mut rt, &mut dev, 0, &SchedulerConfig::task_based());
         t.row(vec![
             format!("Tile-{tile}"),
-            if r.is_ok() { "yes".into() } else { "non-termination".into() },
+            if r.is_ok() {
+                "yes".into()
+            } else {
+                "non-termination".into()
+            },
             dev.trace().reboots().to_string(),
             format!("{:.3}", dev.trace().live_cycles() as f64 / 1e6),
         ]);
@@ -497,18 +563,16 @@ pub fn fig6() -> Table {
     let mut dev = Device::new(spec, power);
     let idx = dev.fram_alloc_word().unwrap();
     let mut g: TaskGraph<()> = TaskGraph::new();
-    g.add("loop-continuation", move |dev, _| {
-        loop {
-            let i = dev.load_word(idx)?;
-            dev.consume(Op::Branch)?;
-            if i as u32 >= iters {
-                dev.store_word(idx, 0)?;
-                return Ok(Transition::Done);
-            }
-            dev.consume_n(Op::FxpMul, work_per_iter)?;
-            dev.store_word(idx, i + 1)?;
-            dev.mark_progress();
+    g.add("loop-continuation", move |dev, _| loop {
+        let i = dev.load_word(idx)?;
+        dev.consume(Op::Branch)?;
+        if i as u32 >= iters {
+            dev.store_word(idx, 0)?;
+            return Ok(Transition::Done);
         }
+        dev.consume_n(Op::FxpMul, work_per_iter)?;
+        dev.store_word(idx, i + 1)?;
+        dev.mark_progress();
     });
     let r = run(
         &mut g,
@@ -519,7 +583,11 @@ pub fn fig6() -> Table {
     );
     t.row(vec![
         "SONIC (loop continuation)".to_string(),
-        if r.is_ok() { "yes".into() } else { "non-termination".into() },
+        if r.is_ok() {
+            "yes".into()
+        } else {
+            "non-termination".into()
+        },
         dev.trace().reboots().to_string(),
         format!("{:.3}", dev.trace().live_cycles() as f64 / 1e6),
     ]);
@@ -570,10 +638,7 @@ mod tests {
         assert!(s.contains("non-termination"), "{s}");
         // SONIC completes.
         assert!(s.contains("SONIC (loop continuation)"));
-        let sonic_line = s
-            .lines()
-            .find(|l| l.contains("SONIC"))
-            .expect("sonic row");
+        let sonic_line = s.lines().find(|l| l.contains("SONIC")).expect("sonic row");
         assert!(sonic_line.contains("yes"), "{sonic_line}");
     }
 

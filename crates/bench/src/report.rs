@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(secs(123.4), "123");
-        assert_eq!(secs(3.14159), "3.14");
+        assert_eq!(secs(3.17159), "3.17");
         assert_eq!(secs(0.01234), "0.0123");
         assert_eq!(ratio(6.93), "6.93x");
     }

@@ -73,8 +73,8 @@ fn conv_layer(dev: &mut Device, m: &DeployedModel, l: &DeployedLayer) -> Result<
                         for c in 0..nc {
                             for ky in 0..kh {
                                 for kx in 0..kw {
-                                    let wq = dev
-                                        .read(*weights, ((f * nc + c) * kh + ky) * kw + kx)?;
+                                    let wq =
+                                        dev.read(*weights, ((f * nc + c) * kh + ky) * kw + kx)?;
                                     dev.consume(Op::Alu)?; // address
                                     let xq = dev.read(src, (c * h + oy + ky) * w + ox + kx)?;
                                     dev.consume(Op::FxpMul)?;

@@ -218,7 +218,10 @@ pub fn deploy(dev: &mut Device, qm: &QModel) -> Result<DeployedModel, AllocError
         }
         shape = out;
     }
-    assert!(max_act <= u16::MAX as usize, "activation too large for u16 indices");
+    assert!(
+        max_act <= u16::MAX as usize,
+        "activation too large for u16 indices"
+    );
 
     let calib = dev.fram_alloc_word()?;
     let calib_cand = dev.fram_alloc_word()?;
@@ -380,7 +383,13 @@ pub fn deploy(dev: &mut Device, qm: &QModel) -> Result<DeployedModel, AllocError
                     false,
                 )
             }
-            QLayer::Pool(p) => (DeployedKind::Pool { kh: p.kh as u32, kw: p.kw as u32 }, false),
+            QLayer::Pool(p) => (
+                DeployedKind::Pool {
+                    kh: p.kh as u32,
+                    kw: p.kw as u32,
+                },
+                false,
+            ),
             QLayer::Relu => (DeployedKind::Relu, true),
             QLayer::Flatten => (DeployedKind::Flatten, true),
         };

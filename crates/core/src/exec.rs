@@ -47,10 +47,9 @@ impl Backend {
             Backend::Sonic => "SONIC".to_string(),
             Backend::SonicNoUndo => "SONIC-no-undo".to_string(),
             Backend::Tails(cfg) if *cfg == TailsConfig::default() => "TAILS".to_string(),
-            Backend::Tails(cfg) => format!(
-                "TAILS(lea={},dma={})",
-                cfg.use_lea as u8, cfg.use_dma as u8
-            ),
+            Backend::Tails(cfg) => {
+                format!("TAILS(lea={},dma={})", cfg.use_lea as u8, cfg.use_dma as u8)
+            }
         }
     }
 }
@@ -122,11 +121,7 @@ pub fn run_inference(
 
 /// Runs one inference over an already-deployed model (the input must be
 /// loaded). Useful for repeated inferences on one device.
-pub fn run_deployed(
-    dev: &mut Device,
-    dm: &DeployedModel,
-    backend: &Backend,
-) -> InferenceOutcome {
+pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> InferenceOutcome {
     let power_label = dev.power().label();
     let result: Result<RunStats, RunError> = match backend {
         Backend::Baseline => {
@@ -319,9 +314,21 @@ mod tests {
     fn sonic_is_slower_than_baseline_but_much_faster_than_tiles() {
         let (qm, input) = tiny_qmodel();
         let s = spec();
-        let base = run_inference(&qm, &input, &s, PowerSystem::continuous(), &Backend::Baseline);
+        let base = run_inference(
+            &qm,
+            &input,
+            &s,
+            PowerSystem::continuous(),
+            &Backend::Baseline,
+        );
         let son = run_inference(&qm, &input, &s, PowerSystem::continuous(), &Backend::Sonic);
-        let t8 = run_inference(&qm, &input, &s, PowerSystem::continuous(), &Backend::Tiled(8));
+        let t8 = run_inference(
+            &qm,
+            &input,
+            &s,
+            PowerSystem::continuous(),
+            &Backend::Tiled(8),
+        );
         let (eb, es, et) = (base.energy_mj(), son.energy_mj(), t8.energy_mj());
         assert!(es > eb, "SONIC adds overhead over base");
         assert!(et > es * 2.0, "tiling should cost much more than SONIC");
@@ -373,7 +380,13 @@ mod ablation_tests {
     fn sonic_no_undo_matches_sonic_outputs_but_costs_more() {
         let (qm, input) = tiny_pruned_qmodel();
         let spec = DeviceSpec::msp430fr5994();
-        let a = run_inference(&qm, &input, &spec, PowerSystem::continuous(), &Backend::Sonic);
+        let a = run_inference(
+            &qm,
+            &input,
+            &spec,
+            PowerSystem::continuous(),
+            &Backend::Sonic,
+        );
         let b = run_inference(
             &qm,
             &input,

@@ -39,7 +39,11 @@ use mcu::{Device, FramBuf, Op, Phase, PowerFailure};
 
 /// Reads a control word (loop continuation state) with control-phase
 /// accounting.
-fn load_ctl(dev: &mut Device, w: mcu::FramWord, region: mcu::RegionId) -> Result<u16, PowerFailure> {
+fn load_ctl(
+    dev: &mut Device,
+    w: mcu::FramWord,
+    region: mcu::RegionId,
+) -> Result<u16, PowerFailure> {
     dev.set_context(region, Phase::Control);
     let v = dev.load_word(w)?;
     Ok(v)
@@ -194,7 +198,7 @@ fn conv_task(
     // inter alternating between the scratch planes.
     dev.set_context(l.region, Phase::Control);
     let tap = read_conv_tap(dev, *weights, sparse, *dims, f, pos)?;
-    let (dest, inter) = if pos % 2 == 0 {
+    let (dest, inter) = if pos.is_multiple_of(2) {
         (m.plane_a, m.plane_b)
     } else {
         (m.plane_b, m.plane_a)
@@ -284,7 +288,7 @@ fn dense_task(
     // Apply input element j to every output partial.
     dev.set_context(l.region, Phase::Control);
     let x = dev.read(src, j)?;
-    let (dest, inter) = if j % 2 == 0 {
+    let (dest, inter) = if j.is_multiple_of(2) {
         (m.plane_a, m.plane_b)
     } else {
         (m.plane_b, m.plane_a)
@@ -434,7 +438,11 @@ pub(crate) fn sparse_dense_task(
                 dev.consume(Op::Incr)?;
                 j += 1;
             }
-            let mut x = if j < in_n { dev.read(src, j)? } else { Q15::ZERO };
+            let mut x = if j < in_n {
+                dev.read(src, j)?
+            } else {
+                Q15::ZERO
+            };
             dev.set_context(l.region, Phase::Kernel);
             while k < nnz {
                 // Column advance (amortized: once per input element).
@@ -557,7 +565,7 @@ fn sparse_dense_loop_ordered_task(
         dev.read(*col_ptr, j)?.raw() as u16 as u32,
         dev.read(*col_ptr, j + 1)?.raw() as u16 as u32,
     );
-    let (dest, inter) = if j % 2 == 0 {
+    let (dest, inter) = if j.is_multiple_of(2) {
         (m.plane_a, m.plane_b)
     } else {
         (m.plane_b, m.plane_a)
@@ -586,7 +594,7 @@ fn sparse_dense_loop_ordered_task(
                 let wq = dev.read(*entries, 2 * k + 1)?;
                 dev.consume(Op::FxpMul)?;
                 dev.consume(Op::FxpAdd)?;
-                v = v + x * wq;
+                v += x * wq;
                 k += 1;
             }
         }

@@ -165,12 +165,7 @@ fn fir(
 }
 
 /// Vector dot over SRAM: LEA or the software emulation.
-fn dot(
-    dev: &mut Device,
-    cfg: TailsConfig,
-    a: SramBuf,
-    b: SramBuf,
-) -> Result<Accum, PowerFailure> {
+fn dot(dev: &mut Device, cfg: TailsConfig, a: SramBuf, b: SramBuf) -> Result<Accum, PowerFailure> {
     if cfg.use_lea {
         dev.lea_dot(a, b)
     } else {
@@ -340,7 +335,7 @@ fn conv_task(
     // row (zero-padding sparse filters costs dense reads, §7.2).
     let c = g / kh;
     let ky = g % kh;
-    let (dest, inter) = if g % 2 == 0 {
+    let (dest, inter) = if g.is_multiple_of(2) {
         (m.plane_a, m.plane_b)
     } else {
         (m.plane_b, m.plane_a)
@@ -355,7 +350,10 @@ fn conv_task(
     // common case in pruned filters), the FIR would contribute nothing.
     // Pass the partials through with a plain copy instead — parity still
     // advances, so loop-ordered buffering stays intact.
-    let all_zero = dev.sram_peek(sram.taps.slice(0, kw)).iter().all(|q| q.is_zero());
+    let all_zero = dev
+        .sram_peek(sram.taps.slice(0, kw))
+        .iter()
+        .all(|q| q.is_zero());
     dev.consume(Op::Branch)?;
     if all_zero {
         let mut oy = dev.load_word(l.idx)? as u32;
@@ -484,7 +482,7 @@ fn dense_task(
     let n = tile.min(in_n - base);
     stage_in(dev, cfg, src.slice(base, n), sram.src.slice(0, n))?;
     software_shift(dev, sram.src.slice(0, n), n, l.region)?;
-    let (dest, inter) = if ci % 2 == 0 {
+    let (dest, inter) = if ci.is_multiple_of(2) {
         (m.plane_a, m.plane_b)
     } else {
         (m.plane_b, m.plane_a)
@@ -531,7 +529,11 @@ pub fn build(m: &DeployedModel, cfg: TailsConfig, dev: &mut Device) -> TaskGraph
     // Task 0: calibration.
     {
         let m = m.clone();
-        let next = if n > 0 { Transition::To(1) } else { Transition::Done };
+        let next = if n > 0 {
+            Transition::To(1)
+        } else {
+            Transition::Done
+        };
         g.add("tails-calibrate", move |dev, _| {
             calibrate_task(dev, &m, sram, cfg, next)
         });
@@ -547,7 +549,10 @@ pub fn build(m: &DeployedModel, cfg: TailsConfig, dev: &mut Device) -> TaskGraph
         let name = format!("tails-layer{li}");
         let is_sparse_dense = matches!(
             &l.kind,
-            DeployedKind::Dense { sparse: Some(_), .. }
+            DeployedKind::Dense {
+                sparse: Some(_),
+                ..
+            }
         );
         g.add(&name, move |dev, _| {
             let l = &m.layers[li];

@@ -42,9 +42,11 @@ fn accum_layer_tiled(
 ) -> Result<Transition, PowerFailure> {
     // Layer geometry.
     let (nf, ntaps_dense, plane): (u32, u32, u32) = match &l.kind {
-        DeployedKind::Conv { dims, .. } => {
-            (dims[0], dims[1] * dims[2] * dims[3], l.out_shape[1] * l.out_shape[2])
-        }
+        DeployedKind::Conv { dims, .. } => (
+            dims[0],
+            dims[1] * dims[2] * dims[3],
+            l.out_shape[1] * l.out_shape[2],
+        ),
         DeployedKind::Dense { dims, .. } => (1, dims[1], dims[0]),
         _ => unreachable!("accum layer on non-accum kind"),
     };
@@ -82,7 +84,10 @@ fn accum_layer_tiled(
             }
             ST_ACCUM => {
                 let ntaps = match &l.kind {
-                    DeployedKind::Conv { sparse: Some((row_ptr, _)), .. } => {
+                    DeployedKind::Conv {
+                        sparse: Some((row_ptr, _)),
+                        ..
+                    } => {
                         let s = dev.read(*row_ptr, f)?.raw() as u16 as u32;
                         let e = dev.read(*row_ptr, f + 1)?.raw() as u16 as u32;
                         e - s
@@ -120,12 +125,7 @@ fn accum_layer_tiled(
                             None => {
                                 let (c, ky, kx) = unpack_tap(pos as u16, kh, kw);
                                 dev.consume(Op::Alu)?;
-                                (
-                                    dev.read(*weights, f * ntaps_dense + pos)?,
-                                    c,
-                                    ky,
-                                    kx,
-                                )
+                                (dev.read(*weights, f * ntaps_dense + pos)?, c, ky, kx)
                             }
                         };
                         while i < plane && budget > 0 {

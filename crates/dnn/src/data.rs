@@ -143,8 +143,8 @@ pub fn synth_mnist(n: usize, seed: u64) -> Dataset {
     for _class in 0..10 {
         let mut img = vec![0.0f32; H * W];
         for _stroke in 0..3 {
-            let mut y = proto_rng.gen_range(6..22) as i32;
-            let mut x = proto_rng.gen_range(6..22) as i32;
+            let mut y = proto_rng.gen_range(6..22);
+            let mut x = proto_rng.gen_range(6..22);
             let (mut dy, mut dx) = (
                 proto_rng.gen_range(-1..=1i32),
                 proto_rng.gen_range(-1..=1i32),
@@ -223,7 +223,7 @@ pub fn synth_har(n: usize, seed: u64) -> Dataset {
         [0.0, 0.0, 0.58],
         [0.55, 0.0, 0.05],
     ];
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6861_72);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0068_6172);
     let mut inputs = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
@@ -259,7 +259,7 @@ pub fn synth_okg(n: usize, seed: u64) -> Dataset {
     const NFRAMES: usize = 34;
     const SILENCE: usize = 10;
     const UNKNOWN: usize = 11;
-    let mut proto_rng = StdRng::seed_from_u64(seed ^ 0x6f6b_67);
+    let mut proto_rng = StdRng::seed_from_u64(seed ^ 0x006f_6b67);
     // Keyword prototypes: 3 formant tracks (start bin, slope).
     let mut protos: Vec<[(f32, f32); 3]> = Vec::with_capacity(10);
     for _ in 0..10 {

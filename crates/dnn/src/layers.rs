@@ -6,6 +6,7 @@
 //! the weights; masked weights stay zero through re-training (GENESIS
 //! re-trains after compression, §5.2).
 
+use crate::im2col;
 use crate::tensor::Tensor;
 use rand::Rng;
 
@@ -40,7 +41,7 @@ pub struct Dense {
 /// `[F, H-KH+1, W-KW+1]`. One-dimensional convolutions are expressed with
 /// degenerate dims (e.g. `KH = 1`), which is how the separated "3×1D"
 /// layers of Table 2 are represented.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Conv2d {
     /// Filters, shape `[F, C, KH, KW]`.
     pub filters: Tensor,
@@ -51,6 +52,25 @@ pub struct Conv2d {
     gf: Tensor,
     gb: Tensor,
     cache_x: Option<Tensor>,
+    /// im2col patch scratch, reused across forward calls.
+    patches: Vec<f32>,
+}
+
+impl Clone for Conv2d {
+    fn clone(&self) -> Self {
+        Conv2d {
+            filters: self.filters.clone(),
+            bias: self.bias.clone(),
+            mask: self.mask.clone(),
+            gf: self.gf.clone(),
+            gb: self.gb.clone(),
+            cache_x: self.cache_x.clone(),
+            // Scratch is not model state: an empty clone re-grows it on
+            // first forward instead of copying up to ~100 KB per layer
+            // (GENESIS clones the base model once per sweep plan).
+            patches: Vec::new(),
+        }
+    }
 }
 
 /// Max pooling with window `(kh, kw)` and the same stride (floor
@@ -131,13 +151,7 @@ impl Layer {
     }
 
     /// A convolution with Glorot-uniform initialization.
-    pub fn conv2d<R: Rng>(
-        out_ch: usize,
-        in_ch: usize,
-        kh: usize,
-        kw: usize,
-        rng: &mut R,
-    ) -> Layer {
+    pub fn conv2d<R: Rng>(out_ch: usize, in_ch: usize, kh: usize, kw: usize, rng: &mut R) -> Layer {
         let fan_in = (in_ch * kh * kw) as f32;
         let fan_out = (out_ch * kh * kw) as f32;
         let scale = (6.0 / (fan_in + fan_out)).sqrt();
@@ -148,6 +162,7 @@ impl Layer {
             gf: Tensor::zeros(vec![out_ch, in_ch, kh, kw]),
             gb: Tensor::zeros(vec![out_ch]),
             cache_x: None,
+            patches: Vec::new(),
         })
     }
 
@@ -170,6 +185,7 @@ impl Layer {
             gf,
             gb,
             cache_x: None,
+            patches: Vec::new(),
         })
     }
 
@@ -361,8 +377,7 @@ impl Layer {
                 d.w.data().iter().filter(|&&w| w != 0.0).count() as u64 + d.b.len() as u64
             }
             Layer::Conv2d(c) => {
-                c.filters.data().iter().filter(|&&w| w != 0.0).count() as u64
-                    + c.bias.len() as u64
+                c.filters.data().iter().filter(|&&w| w != 0.0).count() as u64 + c.bias.len() as u64
             }
             _ => 0,
         }
@@ -397,16 +412,7 @@ impl Dense {
         let (out, inp) = (self.w.shape()[0], self.w.shape()[1]);
         assert_eq!(x.len(), inp, "dense input size mismatch");
         let mut y = Tensor::zeros(vec![out]);
-        let w = self.w.data();
-        let xd = x.data();
-        for o in 0..out {
-            let row = &w[o * inp..(o + 1) * inp];
-            let mut acc = self.b.data()[o];
-            for (wi, xi) in row.iter().zip(xd) {
-                acc += wi * xi;
-            }
-            y.data_mut()[o] = acc;
-        }
+        im2col::matvec_bias(self.w.data(), x.data(), self.b.data(), y.data_mut());
         self.cache_x = Some(x.clone());
         y
     }
@@ -438,29 +444,21 @@ impl Conv2d {
         assert_eq!(xs.len(), 3, "conv input must be rank-3");
         assert_eq!(xs[0], nc, "conv channel mismatch");
         let (h, w) = (xs[1], xs[2]);
-        let (oh, ow) = (h - kh + 1, w - kw + 1);
+        let (oh, ow) = im2col::conv_out_dims(h, w, kh, kw);
         let mut y = Tensor::zeros(vec![nf, oh, ow]);
-        let xd = x.data();
-        let fd = self.filters.data();
-        let yd = y.data_mut();
-        for f in 0..nf {
-            let bias = self.bias.data()[f];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bias;
-                    for c in 0..nc {
-                        for ky in 0..kh {
-                            let xrow = (c * h + oy + ky) * w + ox;
-                            let frow = ((f * nc + c) * kh + ky) * kw;
-                            for kx in 0..kw {
-                                acc += xd[xrow + kx] * fd[frow + kx];
-                            }
-                        }
-                    }
-                    yd[(f * oh + oy) * ow + ox] = acc;
-                }
-            }
-        }
+        im2col::conv2d_im2col(
+            x.data(),
+            self.filters.data(),
+            self.bias.data(),
+            nc,
+            h,
+            w,
+            nf,
+            kh,
+            kw,
+            &mut self.patches,
+            y.data_mut(),
+        );
         self.cache_x = Some(x.clone());
         y
     }
@@ -478,22 +476,32 @@ impl Conv2d {
         let gd = g.data();
         let gfd = self.gf.data_mut();
         let dxd = dx.data_mut();
+        // Same loop nest as the forward reference, but the kernel-column
+        // loop runs over contiguous kw-length slices of the image row, the
+        // filter row, and their gradients, so the hot loop is two
+        // bounds-check-free fused multiply-adds per tap.
         for f in 0..nf {
             let mut bsum = 0.0;
             for oy in 0..oh {
-                for ox in 0..ow {
-                    let go = gd[(f * oh + oy) * ow + ox];
+                let grow = &gd[(f * oh + oy) * ow..(f * oh + oy + 1) * ow];
+                for (ox, &go) in grow.iter().enumerate() {
                     if go == 0.0 {
                         continue;
                     }
                     bsum += go;
                     for c in 0..nc {
                         for ky in 0..kh {
-                            let xrow = (c * h + oy + ky) * w + ox;
-                            let frow = ((f * nc + c) * kh + ky) * kw;
-                            for kx in 0..kw {
-                                gfd[frow + kx] += go * xd[xrow + kx];
-                                dxd[xrow + kx] += go * fd[frow + kx];
+                            let xbase = (c * h + oy + ky) * w + ox;
+                            let fbase = ((f * nc + c) * kh + ky) * kw;
+                            let xs = &xd[xbase..xbase + kw];
+                            let frow = &fd[fbase..fbase + kw];
+                            let gfrow = &mut gfd[fbase..fbase + kw];
+                            let dxrow = &mut dxd[xbase..xbase + kw];
+                            for (((gf, dxv), &xv), &fv) in
+                                gfrow.iter_mut().zip(dxrow.iter_mut()).zip(xs).zip(frow)
+                            {
+                                *gf += go * xv;
+                                *dxv += go * fv;
                             }
                         }
                     }
@@ -615,10 +623,7 @@ mod tests {
     #[test]
     fn maxpool_forward_and_routing() {
         let mut l = Layer::maxpool(2);
-        let x = Tensor::from_vec(
-            vec![1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 6.0],
-        );
+        let x = Tensor::from_vec(vec![1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 6.0]);
         let y = l.forward(&x);
         assert_eq!(y.shape(), &[1, 1, 2]);
         assert_eq!(y.data(), &[5.0, 6.0]);
@@ -683,7 +688,10 @@ mod tests {
     #[test]
     fn describe_is_informative() {
         let mut r = rng();
-        assert_eq!(Layer::conv2d(20, 1, 5, 5, &mut r).describe(), "conv 20x1x5x5");
+        assert_eq!(
+            Layer::conv2d(20, 1, 5, 5, &mut r).describe(),
+            "conv 20x1x5x5"
+        );
         assert_eq!(Layer::dense(1600, 200, &mut r).describe(), "fc 200x1600");
         assert_eq!(Layer::maxpool(2).describe(), "maxpool 2x2");
     }

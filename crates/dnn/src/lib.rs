@@ -45,6 +45,7 @@
 
 pub mod codec;
 pub mod data;
+pub mod im2col;
 pub mod layers;
 pub mod metrics;
 pub mod model;

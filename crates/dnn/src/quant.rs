@@ -96,6 +96,67 @@ pub struct QCsr {
     pub val: Vec<Q15>,
 }
 
+/// Derives the canonical per-filter sparse tap lists from dense conv
+/// weights (`dims = [F, C, KH, KW]`), dropping exact zeros in
+/// `(c, ky, kx)` order. The single source of truth shared by
+/// [`quantize`], the equivalence proptests, and the kernel benches.
+///
+/// # Panics
+///
+/// Panics if `weights` does not match `dims`.
+pub fn sparse_taps_from_weights(dims: [usize; 4], weights: &[Q15]) -> QSparseConv {
+    let (nf, nc, kh, kw) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(weights.len(), nf * nc * kh * kw, "weight length mismatch");
+    let mut taps = Vec::with_capacity(nf);
+    for f in 0..nf {
+        let mut list = Vec::new();
+        for cc in 0..nc {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let w = weights[((f * nc + cc) * kh + ky) * kw + kx];
+                    if !w.is_zero() {
+                        list.push(QTap {
+                            c: cc as u16,
+                            ky: ky as u16,
+                            kx: kx as u16,
+                            w,
+                        });
+                    }
+                }
+            }
+        }
+        taps.push(list);
+    }
+    QSparseConv { taps }
+}
+
+/// Derives the canonical CSR form from dense fully-connected weights
+/// (`dims = [out, in]`), dropping exact zeros row by row. The single
+/// source of truth shared by [`quantize`], the equivalence proptests,
+/// and the kernel benches.
+///
+/// # Panics
+///
+/// Panics if `weights` does not match `dims`.
+pub fn csr_from_weights(dims: [usize; 2], weights: &[Q15]) -> QCsr {
+    assert_eq!(weights.len(), dims[0] * dims[1], "weight length mismatch");
+    let mut row_ptr = Vec::with_capacity(dims[0] + 1);
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    row_ptr.push(0u32);
+    for r in 0..dims[0] {
+        for c in 0..dims[1] {
+            let w = weights[r * dims[1] + c];
+            if !w.is_zero() {
+                col.push(c as u32);
+                val.push(w);
+            }
+        }
+        row_ptr.push(col.len() as u32);
+    }
+    QCsr { row_ptr, col, val }
+}
+
 /// Quantized max pooling.
 #[derive(Clone, Copy, Debug)]
 pub struct QPool {
@@ -256,27 +317,16 @@ pub fn quantize(model: &mut Model, input_shape: &[usize], calib: &[Tensor]) -> Q
                 let shift = a_out - a + ws;
                 let weights = quantize_scaled(d.w.data(), ws);
                 let bias_scale = (2.0f32).powi(a_out);
-                let bias = d.b.data().iter().map(|&b| Q15::from_f32(b * bias_scale)).collect();
+                let bias =
+                    d.b.data()
+                        .iter()
+                        .map(|&b| Q15::from_f32(b * bias_scale))
+                        .collect();
                 let dims = [d.w.shape()[0], d.w.shape()[1]];
                 let nnz = weights.iter().filter(|w| !w.is_zero()).count();
                 let density = nnz as f64 / weights.len() as f64;
-                let sparse = (density < SPARSE_DENSITY_THRESHOLD).then(|| {
-                    let mut row_ptr = Vec::with_capacity(dims[0] + 1);
-                    let mut col = Vec::new();
-                    let mut val = Vec::new();
-                    row_ptr.push(0u32);
-                    for r in 0..dims[0] {
-                        for c in 0..dims[1] {
-                            let w = weights[r * dims[1] + c];
-                            if !w.is_zero() {
-                                col.push(c as u32);
-                                val.push(w);
-                            }
-                        }
-                        row_ptr.push(col.len() as u32);
-                    }
-                    QCsr { row_ptr, col, val }
-                });
+                let sparse =
+                    (density < SPARSE_DENSITY_THRESHOLD).then(|| csr_from_weights(dims, &weights));
                 layers.push(QLayer::Dense(QDense {
                     dims,
                     weights,
@@ -302,30 +352,8 @@ pub fn quantize(model: &mut Model, input_shape: &[usize], calib: &[Tensor]) -> Q
                 let dims = [s[0], s[1], s[2], s[3]];
                 let nnz = weights.iter().filter(|w| !w.is_zero()).count();
                 let density = nnz as f64 / weights.len() as f64;
-                let sparse = (density < SPARSE_DENSITY_THRESHOLD).then(|| {
-                    let (nf, nc, kh, kw) = (dims[0], dims[1], dims[2], dims[3]);
-                    let mut taps = Vec::with_capacity(nf);
-                    for f in 0..nf {
-                        let mut list = Vec::new();
-                        for cc in 0..nc {
-                            for ky in 0..kh {
-                                for kx in 0..kw {
-                                    let w = weights[((f * nc + cc) * kh + ky) * kw + kx];
-                                    if !w.is_zero() {
-                                        list.push(QTap {
-                                            c: cc as u16,
-                                            ky: ky as u16,
-                                            kx: kx as u16,
-                                            w,
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                        taps.push(list);
-                    }
-                    QSparseConv { taps }
-                });
+                let sparse = (density < SPARSE_DENSITY_THRESHOLD)
+                    .then(|| sparse_taps_from_weights(dims, &weights));
                 layers.push(QLayer::Conv(QConv {
                     dims,
                     weights,
@@ -335,7 +363,9 @@ pub fn quantize(model: &mut Model, input_shape: &[usize], calib: &[Tensor]) -> Q
                 }));
                 a = a_out;
             }
-            crate::layers::Layer::MaxPool2d(p) => layers.push(QLayer::Pool(QPool { kh: p.kh, kw: p.kw })),
+            crate::layers::Layer::MaxPool2d(p) => {
+                layers.push(QLayer::Pool(QPool { kh: p.kh, kw: p.kw }))
+            }
             crate::layers::Layer::Relu(_) => layers.push(QLayer::Relu),
             crate::layers::Layer::Flatten(_) => layers.push(QLayer::Flatten),
         }
@@ -346,6 +376,21 @@ pub fn quantize(model: &mut Model, input_shape: &[usize], calib: &[Tensor]) -> Q
     }
 }
 
+/// Reusable buffers for [`QModel::forward_host_with`], so repeated host
+/// inferences (calibration sweeps, GENESIS accuracy evaluation) allocate
+/// nothing in steady state.
+#[derive(Clone, Debug, Default)]
+pub struct HostScratch {
+    /// One output row of wide accumulators.
+    acc_row: Vec<Accum>,
+    /// Per-filter sparse taps flattened to (row base offset, weight).
+    tap_bases: Vec<(usize, Q15)>,
+    /// Activation ping buffer.
+    ping: Vec<Q15>,
+    /// Activation pong buffer.
+    pong: Vec<Q15>,
+}
+
 impl QModel {
     /// Quantizes an input tensor to Q1.15 (inputs are expected in
     /// `[-1, 1)`, which all generators in [`crate::data`] guarantee).
@@ -353,29 +398,66 @@ impl QModel {
         x.data().iter().map(|&v| Q15::from_f32(v)).collect()
     }
 
-    /// Reference forward pass on the host, with full-precision
-    /// accumulation per output element (the naïve baseline's semantics).
+    /// Host forward pass, with full-precision accumulation per output
+    /// element (the naïve baseline's semantics). Allocates fresh scratch;
+    /// hot loops should hold a [`HostScratch`] and call
+    /// [`QModel::forward_host_with`].
     ///
     /// # Panics
     ///
     /// Panics if `x` does not match the input shape.
     pub fn forward_host(&self, x: &[Q15]) -> Vec<Q15> {
+        self.forward_host_with(x, &mut HostScratch::default())
+    }
+
+    /// Host forward pass through caller-provided scratch buffers.
+    ///
+    /// Activations ping-pong between two reused buffers and the kernels
+    /// run through the restructured [`conv_host`] / [`dense_host`], so a
+    /// steady-state inference performs no heap allocation beyond the
+    /// returned logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the input shape.
+    pub fn forward_host_with(&self, x: &[Q15], s: &mut HostScratch) -> Vec<Q15> {
         let expect: usize = self.input_shape.iter().product();
         assert_eq!(x.len(), expect, "input size mismatch");
         let mut shape = self.input_shape.clone();
-        let mut act = x.to_vec();
+        s.ping.clear();
+        s.ping.extend_from_slice(x);
         for l in &self.layers {
             let out_shape = l.output_shape(&shape);
-            act = match l {
-                QLayer::Conv(c) => conv_host(c, &act, &shape),
-                QLayer::Dense(d) => dense_host(d, &act),
-                QLayer::Pool(p) => pool_host(p, &act, &shape),
-                QLayer::Relu => act.iter().map(|q| q.relu()).collect(),
-                QLayer::Flatten => act,
-            };
+            match l {
+                QLayer::Conv(c) => {
+                    conv_host_into(
+                        c,
+                        &s.ping,
+                        &shape,
+                        &mut s.acc_row,
+                        &mut s.tap_bases,
+                        &mut s.pong,
+                    );
+                    std::mem::swap(&mut s.ping, &mut s.pong);
+                }
+                QLayer::Dense(d) => {
+                    dense_host_into(d, &s.ping, &mut s.pong);
+                    std::mem::swap(&mut s.ping, &mut s.pong);
+                }
+                QLayer::Pool(p) => {
+                    pool_host_into(p, &s.ping, &shape, &mut s.pong);
+                    std::mem::swap(&mut s.ping, &mut s.pong);
+                }
+                QLayer::Relu => {
+                    for v in s.ping.iter_mut() {
+                        *v = v.relu();
+                    }
+                }
+                QLayer::Flatten => {}
+            }
             shape = out_shape;
         }
-        act
+        s.ping.clone()
     }
 
     /// Classifies an input: argmax over the quantized logits.
@@ -384,7 +466,17 @@ impl QModel {
     ///
     /// Panics if `x` does not match the input shape.
     pub fn predict_host(&self, x: &Tensor) -> usize {
-        let logits = self.forward_host(&self.quantize_input(x));
+        self.predict_host_with(x, &mut HostScratch::default())
+    }
+
+    /// [`QModel::predict_host`] through caller-provided scratch (the form
+    /// GENESIS's accuracy sweeps use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the input shape.
+    pub fn predict_host_with(&self, x: &Tensor, s: &mut HostScratch) -> usize {
+        let logits = self.forward_host_with(&self.quantize_input(x), s);
         fxp::vecops::argmax(&logits).expect("empty logits")
     }
 
@@ -420,7 +512,167 @@ impl QModel {
     }
 }
 
-fn conv_host(c: &QConv, x: &[Q15], shape: &[usize]) -> Vec<Q15> {
+/// Quantized convolution on the host (allocating wrapper over
+/// [`conv_host_into`]). Bit-identical to [`conv_host_reference`]; the
+/// equivalence proptests in this module pin that down.
+pub fn conv_host(c: &QConv, x: &[Q15], shape: &[usize]) -> Vec<Q15> {
+    let mut out = Vec::new();
+    let (mut acc_row, mut tap_bases) = (Vec::new(), Vec::new());
+    conv_host_into(c, x, shape, &mut acc_row, &mut tap_bases, &mut out);
+    out
+}
+
+/// Restructured quantized convolution.
+///
+/// The sparse/dense dispatch is hoisted out of the loop nest; each
+/// (filter, output-row) pair keeps a row of wide accumulators:
+///
+/// - **dense**: one [`fxp::vecops::fir_acc`] call per (channel,
+///   kernel-row) streams a contiguous image row against a contiguous
+///   `kw`-tap slice of the filter — the composition TAILS performs with
+///   LEA FIR DTC calls (§7).
+/// - **sparse**: tap coordinates are pre-flattened to row base offsets,
+///   then each nonzero tap is one [`fxp::vecops::mac_acc`] over a
+///   contiguous image row.
+///
+/// Because [`Accum`] arithmetic is exact, both reorderings are
+/// bit-identical to the reference element-at-a-time loops.
+///
+/// # Panics
+///
+/// Panics if `x`/`shape` do not match the layer.
+pub fn conv_host_into(
+    c: &QConv,
+    x: &[Q15],
+    shape: &[usize],
+    acc_row: &mut Vec<Accum>,
+    tap_bases: &mut Vec<(usize, Q15)>,
+    out: &mut Vec<Q15>,
+) {
+    let (nf, nc, kh, kw) = (c.dims[0], c.dims[1], c.dims[2], c.dims[3]);
+    let (h, w) = (shape[1], shape[2]);
+    assert_eq!(x.len(), nc * h * w, "conv input mismatch");
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+    // Every output element and every accumulator lane is written below,
+    // so plain resize() suffices (no-op re-zeroing in steady state).
+    out.resize(nf * oh * ow, Q15::ZERO);
+    acc_row.resize(ow, Accum::ZERO);
+    match &c.sparse {
+        None => {
+            for f in 0..nf {
+                let bias = c.bias[f];
+                for oy in 0..oh {
+                    acc_row.fill(Accum::ZERO);
+                    for cc in 0..nc {
+                        for ky in 0..kh {
+                            let xrow = &x[(cc * h + oy + ky) * w..(cc * h + oy + ky + 1) * w];
+                            let tap0 = ((f * nc + cc) * kh + ky) * kw;
+                            fxp::vecops::fir_acc(xrow, &c.weights[tap0..tap0 + kw], acc_row);
+                        }
+                    }
+                    let orow = &mut out[(f * oh + oy) * ow..(f * oh + oy + 1) * ow];
+                    for (o, &acc) in orow.iter_mut().zip(acc_row.iter()) {
+                        *o = finish_acc(acc, c.shift, bias);
+                    }
+                }
+            }
+        }
+        Some(s) => {
+            for f in 0..nf {
+                let bias = c.bias[f];
+                tap_bases.clear();
+                tap_bases.extend(
+                    s.taps[f]
+                        .iter()
+                        .map(|t| ((t.c as usize * h + t.ky as usize) * w + t.kx as usize, t.w)),
+                );
+                for oy in 0..oh {
+                    acc_row.fill(Accum::ZERO);
+                    for &(base, tw) in tap_bases.iter() {
+                        let xrow = &x[base + oy * w..base + oy * w + ow];
+                        fxp::vecops::mac_acc(acc_row, xrow, tw);
+                    }
+                    let orow = &mut out[(f * oh + oy) * ow..(f * oh + oy + 1) * ow];
+                    for (o, &acc) in orow.iter_mut().zip(acc_row.iter()) {
+                        *o = finish_acc(acc, c.shift, bias);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Quantized fully-connected layer on the host (allocating wrapper over
+/// [`dense_host_into`]). Bit-identical to [`dense_host_reference`].
+pub fn dense_host(d: &QDense, x: &[Q15]) -> Vec<Q15> {
+    let mut out = Vec::new();
+    dense_host_into(d, x, &mut out);
+    out
+}
+
+/// Restructured quantized fully-connected kernel: the sparse/dense
+/// dispatch is hoisted out of the output loop, the dense path is one
+/// [`fxp::vecops::dot`] per contiguous weight row, and the sparse path
+/// walks each CSR row as a pair of zipped slices.
+///
+/// # Panics
+///
+/// Panics if `x` does not match the layer.
+pub fn dense_host_into(d: &QDense, x: &[Q15], out: &mut Vec<Q15>) {
+    let (out_n, in_n) = (d.dims[0], d.dims[1]);
+    assert_eq!(x.len(), in_n, "dense input mismatch");
+    out.clear();
+    out.reserve(out_n);
+    match &d.sparse {
+        None => {
+            for o in 0..out_n {
+                let row = &d.weights[o * in_n..(o + 1) * in_n];
+                let acc = fxp::vecops::dot(x, row);
+                out.push(finish_acc(acc, d.shift, d.bias[o]));
+            }
+        }
+        Some(s) => {
+            for o in 0..out_n {
+                let (lo, hi) = (s.row_ptr[o] as usize, s.row_ptr[o + 1] as usize);
+                let mut acc = Accum::ZERO;
+                for (&col, &val) in s.col[lo..hi].iter().zip(s.val[lo..hi].iter()) {
+                    acc.mac(x[col as usize], val);
+                }
+                out.push(finish_acc(acc, d.shift, d.bias[o]));
+            }
+        }
+    }
+}
+
+fn pool_host_into(p: &QPool, x: &[Q15], shape: &[usize], out: &mut Vec<Q15>) {
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let (oh, ow) = (h / p.kh, w / p.kw);
+    // Every element is written below; plain resize() avoids a re-zeroing
+    // pass over a reused buffer.
+    out.resize(c * oh * ow, Q15::MIN);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = Q15::MIN;
+                for py in 0..p.kh {
+                    for px in 0..p.kw {
+                        let v = x[(ch * h + oy * p.kh + py) * w + ox * p.kw + px];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = best;
+            }
+        }
+    }
+}
+
+/// The original element-at-a-time convolution loop, kept as the
+/// semantic reference: the optimized [`conv_host`] must produce
+/// byte-identical output (sparse and dense variants).
+#[allow(clippy::needless_range_loop)] // deliberately the original naive loops
+pub fn conv_host_reference(c: &QConv, x: &[Q15], shape: &[usize]) -> Vec<Q15> {
     let (nf, nc, kh, kw) = (c.dims[0], c.dims[1], c.dims[2], c.dims[3]);
     let (h, w) = (shape[1], shape[2]);
     let (oh, ow) = (h - kh + 1, w - kw + 1);
@@ -432,9 +684,8 @@ fn conv_host(c: &QConv, x: &[Q15], shape: &[usize]) -> Vec<Q15> {
                 match &c.sparse {
                     Some(s) => {
                         for t in &s.taps[f] {
-                            let xi = (t.c as usize * h + oy + t.ky as usize) * w
-                                + ox
-                                + t.kx as usize;
+                            let xi =
+                                (t.c as usize * h + oy + t.ky as usize) * w + ox + t.kx as usize;
                             acc.mac(x[xi], t.w);
                         }
                     }
@@ -457,7 +708,11 @@ fn conv_host(c: &QConv, x: &[Q15], shape: &[usize]) -> Vec<Q15> {
     out
 }
 
-fn dense_host(d: &QDense, x: &[Q15]) -> Vec<Q15> {
+/// The original fully-connected loop, kept as the semantic reference:
+/// the optimized [`dense_host`] must produce byte-identical output
+/// (sparse and dense variants).
+#[allow(clippy::needless_range_loop)] // deliberately the original naive loops
+pub fn dense_host_reference(d: &QDense, x: &[Q15]) -> Vec<Q15> {
     let (out_n, in_n) = (d.dims[0], d.dims[1]);
     assert_eq!(x.len(), in_n, "dense input mismatch");
     let mut out = vec![Q15::ZERO; out_n];
@@ -476,29 +731,6 @@ fn dense_host(d: &QDense, x: &[Q15]) -> Vec<Q15> {
             }
         }
         out[o] = finish_acc(acc, d.shift, d.bias[o]);
-    }
-    out
-}
-
-fn pool_host(p: &QPool, x: &[Q15], shape: &[usize]) -> Vec<Q15> {
-    let (c, h, w) = (shape[0], shape[1], shape[2]);
-    let (oh, ow) = (h / p.kh, w / p.kw);
-    let mut out = vec![Q15::MIN; c * oh * ow];
-    for ch in 0..c {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut best = Q15::MIN;
-                for py in 0..p.kh {
-                    for px in 0..p.kw {
-                        let v = x[(ch * h + oy * p.kh + py) * w + ox * p.kw + px];
-                        if v > best {
-                            best = v;
-                        }
-                    }
-                }
-                out[(ch * oh + oy) * ow + ox] = best;
-            }
-        }
     }
     out
 }
@@ -652,6 +884,26 @@ mod tests {
     }
 
     #[test]
+    fn forward_host_with_reuses_scratch_and_matches_fresh() {
+        let mut r = rng();
+        let mut model = Model::new(vec![
+            Layer::conv2d(3, 1, 3, 3, &mut r),
+            Layer::relu(),
+            Layer::maxpool(2),
+            Layer::flatten(),
+            Layer::dense(3 * 3 * 3, 4, &mut r),
+        ]);
+        let shape = [1usize, 8, 8];
+        let qm = quantize(&mut model, &shape, &calib(4, &shape));
+        let mut scratch = HostScratch::default();
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let x = qm.quantize_input(&Tensor::uniform(shape.to_vec(), 0.9, &mut r2));
+            assert_eq!(qm.forward_host_with(&x, &mut scratch), qm.forward_host(&x));
+        }
+    }
+
+    #[test]
     fn fram_accounting_includes_double_buffers() {
         let mut r = rng();
         let mut model = Model::new(vec![
@@ -665,5 +917,103 @@ mod tests {
         assert_eq!(qm.activation_words(), 288);
         assert!(qm.fram_words() > qm.param_words());
         assert_eq!(qm.output_shape(), vec![2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! The deployment-correctness contract: the restructured kernels that
+    //! every backend's host-side reference runs through must be
+    //! *byte-identical* to the original element-at-a-time loops, for both
+    //! the dense and the sparse representations.
+
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn random_q15(r: &mut rand::rngs::StdRng) -> Q15 {
+        Q15::from_raw(r.gen_range(-32768..32768i32) as i16)
+    }
+
+    /// Builds a random conv layer; when `sparse`, ~70% of taps are pruned
+    /// and the tap lists are derived exactly as `quantize` derives them.
+    fn random_qconv(seed: u64, sparse: bool) -> (QConv, Vec<Q15>, Vec<usize>) {
+        let mut r = rng(seed);
+        let nc = r.gen_range(1..4usize);
+        let kh = r.gen_range(1..4usize);
+        let kw = r.gen_range(1..5usize);
+        let nf = r.gen_range(1..6usize);
+        let h = kh + r.gen_range(0..7usize);
+        let w = kw + r.gen_range(0..7usize);
+        let mut weights: Vec<Q15> = (0..nf * nc * kh * kw).map(|_| random_q15(&mut r)).collect();
+        if sparse {
+            for v in weights.iter_mut() {
+                if r.gen_bool(0.7) {
+                    *v = Q15::ZERO;
+                }
+            }
+        }
+        let taps = sparse.then(|| sparse_taps_from_weights([nf, nc, kh, kw], &weights));
+        let conv = QConv {
+            dims: [nf, nc, kh, kw],
+            weights,
+            bias: (0..nf).map(|_| random_q15(&mut r)).collect(),
+            shift: r.gen_range(-2..3),
+            sparse: taps,
+        };
+        let x: Vec<Q15> = (0..nc * h * w).map(|_| random_q15(&mut r)).collect();
+        (conv, x, vec![nc, h, w])
+    }
+
+    fn random_qdense(seed: u64, sparse: bool) -> (QDense, Vec<Q15>) {
+        let mut r = rng(seed);
+        let out_n = r.gen_range(1..12usize);
+        let in_n = r.gen_range(1..40usize);
+        let mut weights: Vec<Q15> = (0..out_n * in_n).map(|_| random_q15(&mut r)).collect();
+        if sparse {
+            for v in weights.iter_mut() {
+                if r.gen_bool(0.8) {
+                    *v = Q15::ZERO;
+                }
+            }
+        }
+        let csr = sparse.then(|| csr_from_weights([out_n, in_n], &weights));
+        let dense = QDense {
+            dims: [out_n, in_n],
+            weights,
+            bias: (0..out_n).map(|_| random_q15(&mut r)).collect(),
+            shift: r.gen_range(-2..3),
+            sparse: csr,
+        };
+        let x: Vec<Q15> = (0..in_n).map(|_| random_q15(&mut r)).collect();
+        (dense, x)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn conv_host_matches_reference_bytewise(seed in 0u64..100_000, sparse in any::<bool>()) {
+            let (conv, x, shape) = random_qconv(seed, sparse);
+            let fast = conv_host(&conv, &x, &shape);
+            let reference = conv_host_reference(&conv, &x, &shape);
+            let fast_raw: Vec<i16> = fast.iter().map(|q| q.raw()).collect();
+            let ref_raw: Vec<i16> = reference.iter().map(|q| q.raw()).collect();
+            prop_assert_eq!(fast_raw, ref_raw);
+        }
+
+        #[test]
+        fn dense_host_matches_reference_bytewise(seed in 0u64..100_000, sparse in any::<bool>()) {
+            let (dense, x) = random_qdense(seed, sparse);
+            let fast = dense_host(&dense, &x);
+            let reference = dense_host_reference(&dense, &x);
+            let fast_raw: Vec<i16> = fast.iter().map(|q| q.raw()).collect();
+            let ref_raw: Vec<i16> = reference.iter().map(|q| q.raw()).collect();
+            prop_assert_eq!(fast_raw, ref_raw);
+        }
     }
 }

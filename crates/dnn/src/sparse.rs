@@ -69,23 +69,38 @@ impl CsrMatrix {
         }
     }
 
-    /// Sparse matrix × dense vector.
+    /// Sparse matrix × dense vector (allocating wrapper over
+    /// [`CsrMatrix::matvec_into`]).
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = Vec::new();
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix × dense vector into a caller-provided buffer
+    /// (cleared and refilled), so repeated products never allocate. Each
+    /// row's nonzeros are walked as a pair of zipped slices, keeping the
+    /// gather loop free of bounds checks on the CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_into(&self, x: &[f32], y: &mut Vec<f32>) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        let mut y = vec![0.0; self.rows];
+        y.clear();
+        y.reserve(self.rows);
         for r in 0..self.rows {
             let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
             let mut acc = 0.0;
-            for i in s..e {
-                acc += self.values[i] * x[self.col_idx[i] as usize];
+            for (&v, &c) in self.values[s..e].iter().zip(self.col_idx[s..e].iter()) {
+                acc += v * x[c as usize];
             }
-            y[r] = acc;
+            y.push(acc);
         }
-        y
     }
 
     /// Reconstructs the dense `[rows, cols]` tensor.
@@ -195,6 +210,16 @@ mod tests {
         let csr = CsrMatrix::from_dense(&sample());
         let y = csr.matvec(&[1.0, 10.0, 100.0]);
         assert_eq!(y, vec![201.0, 300.0]);
+    }
+
+    #[test]
+    fn csr_matvec_into_reuses_buffer() {
+        let csr = CsrMatrix::from_dense(&sample());
+        let mut y = vec![9.0; 17]; // stale garbage to overwrite
+        csr.matvec_into(&[1.0, 10.0, 100.0], &mut y);
+        assert_eq!(y, vec![201.0, 300.0]);
+        csr.matvec_into(&[0.0, 0.0, 1.0], &mut y);
+        assert_eq!(y, vec![2.0, 3.0]);
     }
 
     #[test]

@@ -18,7 +18,11 @@ use rand::Rng;
 pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
     let n = logits.len();
     assert!(label < n, "label {label} out of range {n}");
-    let max = logits.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let max = logits
+        .data()
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     let mut dlogits = Tensor::zeros(vec![n]);
@@ -164,16 +168,17 @@ pub fn toy_blobs(n_per_class: usize, classes: usize, dim: usize, seed: u64) -> D
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut inputs = Vec::new();
     let mut labels = Vec::new();
-    // Well-separated class centers on coordinate axes.
-    for c in 0..classes {
-        for _ in 0..n_per_class {
-            let mut x = vec![0.0f32; dim];
-            for (j, v) in x.iter_mut().enumerate() {
-                *v = if j % classes == c { 0.8 } else { 0.0 } + rng.gen_range(-0.15..0.15);
-            }
-            inputs.push(x);
-            labels.push(c);
+    // Well-separated class centers on coordinate axes. Classes are
+    // interleaved (label = i mod classes) so that the prefix split of
+    // [`Dataset::split`] stays class-balanced.
+    for i in 0..n_per_class * classes {
+        let c = i % classes;
+        let mut x = vec![0.0f32; dim];
+        for (j, v) in x.iter_mut().enumerate() {
+            *v = if j % classes == c { 0.8 } else { 0.0 } + rng.gen_range(-0.15..0.15);
         }
+        inputs.push(x);
+        labels.push(c);
     }
     Dataset::new(vec![dim], inputs, labels, classes)
 }
@@ -264,7 +269,7 @@ mod tests {
         let mut opt = Sgd::new(&mut model, 0.1, 0.9);
         // Apply the same gradient twice: with momentum, the second step is
         // larger than the first.
-        let first_step;
+
         let mut w0 = 0.0;
         model.visit_params(&mut |p| {
             if p.values.len() == 1 && w0 == 0.0 {
@@ -288,7 +293,7 @@ mod tests {
                 seen = true;
             }
         });
-        first_step = (w1 - w0).abs();
+        let first_step = (w1 - w0).abs();
         set_grad(&mut model);
         opt.step(&mut model, 1);
         let mut w2 = 0.0;

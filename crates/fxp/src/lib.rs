@@ -143,6 +143,9 @@ impl Q15 {
     }
 
     /// Arithmetic right shift (exact on the raw representation).
+    // Not `impl Shr`: the operator would invite `q >> n` on a type whose
+    // shift semantics (clamped to 15) differ from the integer operator's.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn shr(self, shift: u32) -> Q15 {
         Q15(self.0 >> shift.min(15))
@@ -350,22 +353,79 @@ pub mod vecops {
     /// which is exactly the primitive LEA exposes and that TAILS composes
     /// into 2-D/3-D convolutions.
     ///
+    /// Allocates the result; hot paths should prefer [`fir_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `taps` is empty or longer than `src`.
     pub fn fir(src: &[Q15], taps: &[Q15]) -> Vec<Q15> {
+        let mut out = Vec::new();
+        fir_into(src, taps, &mut out);
+        out
+    }
+
+    /// [`fir`] into a caller-provided buffer (cleared and refilled), so
+    /// steady-state kernels never allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or longer than `src`.
+    pub fn fir_into(src: &[Q15], taps: &[Q15], out: &mut Vec<Q15>) {
         assert!(!taps.is_empty(), "fir: empty taps");
         assert!(taps.len() <= src.len(), "fir: taps longer than input");
         let n = src.len() - taps.len() + 1;
-        let mut out = Vec::with_capacity(n);
+        out.clear();
+        out.reserve(n);
         for i in 0..n {
+            let window = &src[i..i + taps.len()];
             let mut acc = Accum::ZERO;
-            for (j, &t) in taps.iter().enumerate() {
-                acc.mac(src[i + j], t);
+            for (&s, &t) in window.iter().zip(taps.iter()) {
+                acc.mac(s, t);
             }
             out.push(acc.to_q15());
         }
-        out
+    }
+
+    /// FIR at accumulator precision: `acc[i] += sum_j src[i + j] * taps[j]`.
+    ///
+    /// This is the composition step of a multi-channel 2-D convolution the
+    /// way TAILS builds it from LEA FIR DTC calls: one call per
+    /// (channel, kernel-row) pair accumulates into the same row of wide
+    /// accumulators, and the caller rounds/saturates once at the end (see
+    /// `dnn::quant::conv_host`). Since [`Accum`] addition is exact, the
+    /// result is bit-identical to accumulating in any other tap order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or `src` is shorter than
+    /// `acc.len() + taps.len() - 1`.
+    pub fn fir_acc(src: &[Q15], taps: &[Q15], acc: &mut [Accum]) {
+        assert!(!taps.is_empty(), "fir_acc: empty taps");
+        assert!(
+            src.len() + 1 >= acc.len() + taps.len(),
+            "fir_acc: src shorter than acc + taps - 1"
+        );
+        for (i, a) in acc.iter_mut().enumerate() {
+            let window = &src[i..i + taps.len()];
+            for (&s, &t) in window.iter().zip(taps.iter()) {
+                a.mac(s, t);
+            }
+        }
+    }
+
+    /// Shifted-row multiply-accumulate: `acc[i] += src[i] * tap`.
+    ///
+    /// The sparse-convolution primitive: one call per nonzero tap streams a
+    /// contiguous input row into the output row's accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is shorter than `acc`.
+    pub fn mac_acc(acc: &mut [Accum], src: &[Q15], tap: Q15) {
+        assert!(src.len() >= acc.len(), "mac_acc: src shorter than acc");
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            a.mac(s, tap);
+        }
     }
 
     /// Element-wise saturating add of `src` into `dst`.
@@ -376,7 +436,7 @@ pub mod vecops {
     pub fn add_assign(dst: &mut [Q15], src: &[Q15]) {
         assert_eq!(dst.len(), src.len(), "add_assign: length mismatch");
         for (d, &s) in dst.iter_mut().zip(src.iter()) {
-            *d = *d + s;
+            *d += s;
         }
     }
 
@@ -522,6 +582,47 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert!((out[0].to_f32() - (0.1 * 0.5 + 0.2 * 0.25)).abs() < 1e-3);
         assert!((out[2].to_f32() - (0.3 * 0.5 + 0.4 * 0.25)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fir_into_reuses_buffer_and_matches_fir() {
+        let src = vecops::quantize(&[0.1, 0.2, 0.3, 0.4, -0.2]);
+        let taps = vecops::quantize(&[0.5, 0.25, -0.125]);
+        let mut out = vec![Q15::MAX; 7]; // stale garbage to overwrite
+        vecops::fir_into(&src, &taps, &mut out);
+        assert_eq!(out, vecops::fir(&src, &taps));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn fir_acc_composes_rows_exactly() {
+        // Two (channel, row) passes into the same accumulators must equal
+        // a single fused pass over the concatenated taps.
+        let row_a = vecops::quantize(&[0.1, 0.2, 0.3, 0.4]);
+        let row_b = vecops::quantize(&[-0.3, 0.25, 0.5, -0.1]);
+        let taps_a = vecops::quantize(&[0.5, 0.25]);
+        let taps_b = vecops::quantize(&[-0.75, 0.125]);
+        let mut acc = [Accum::ZERO; 3];
+        vecops::fir_acc(&row_a, &taps_a, &mut acc);
+        vecops::fir_acc(&row_b, &taps_b, &mut acc);
+        for (i, a) in acc.iter().enumerate() {
+            let mut want = Accum::ZERO;
+            want.mac(row_a[i], taps_a[0]);
+            want.mac(row_a[i + 1], taps_a[1]);
+            want.mac(row_b[i], taps_b[0]);
+            want.mac(row_b[i + 1], taps_b[1]);
+            assert_eq!(a.raw(), want.raw(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn mac_acc_streams_one_tap() {
+        let src = vecops::quantize(&[0.5, -0.5, 0.25]);
+        let tap = Q15::from_f32(0.5);
+        let mut acc = [Accum::ZERO; 3];
+        vecops::mac_acc(&mut acc, &src, tap);
+        assert!((acc[0].to_f32() - 0.25).abs() < 1e-3);
+        assert!((acc[1].to_f32() + 0.25).abs() < 1e-3);
     }
 
     #[test]

@@ -59,8 +59,7 @@ pub fn estimate_inference_mj(qm: &QModel, costs: &CostTable) -> f64 {
             QLayer::Pool(p) => {
                 let window = (p.kh * p.kw) as f64;
                 pj += out_elems as f64
-                    * (window * (price(Op::FramRead) + price(Op::Branch))
-                        + price(Op::FramWrite));
+                    * (window * (price(Op::FramRead) + price(Op::Branch)) + price(Op::FramWrite));
             }
             QLayer::Relu => {
                 pj += out_elems as f64

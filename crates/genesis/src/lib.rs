@@ -32,6 +32,7 @@
 pub mod energy;
 pub mod imp;
 pub mod linalg;
+mod parallel;
 pub mod prune;
 pub mod search;
 pub mod separate;

@@ -1,0 +1,78 @@
+//! Ordered parallel map for the configuration sweep.
+//!
+//! The sweep's plan evaluations are independent and deterministic
+//! (seeded training, deterministic compression), so they can run on any
+//! number of threads as long as results come back in plan order. `rayon`
+//! is unavailable offline (see `vendor/README.md`), so this is a small
+//! `std::thread::scope` work queue: each worker pops the next indexed
+//! item, and results are sorted back into submission order — the
+//! "indexed collect" that keeps [`crate::search::sweep`] deterministic.
+//!
+//! With the `parallel` feature disabled the same entry point maps
+//! serially, so feature on/off produce identical results.
+
+/// Maps `f` over `items` preserving order.
+#[cfg(feature = "parallel")]
+pub(crate) fn par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // LIFO queue: order of *execution* is irrelevant, order of results is
+    // restored by the index sort below.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                let Some((i, item)) = job else { break };
+                let r = f(item);
+                results.lock().expect("results poisoned").push((i, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("results poisoned");
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Serial fallback with the identical signature and result order.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    items.into_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::par_map;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, &|x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), &|x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], &|x| x + 1), vec![8]);
+    }
+}

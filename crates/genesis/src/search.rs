@@ -257,8 +257,12 @@ pub struct ConfigResult {
 
 fn quantized_confusion(qm: &QModel, data: &Dataset) -> Confusion {
     let mut c = Confusion::new(data.num_classes());
+    let mut scratch = dnn::quant::HostScratch::default();
     for i in 0..data.len() {
-        c.record(data.label(i), qm.predict_host(&data.input(i)));
+        c.record(
+            data.label(i),
+            qm.predict_host_with(&data.input(i), &mut scratch),
+        );
     }
     c
 }
@@ -328,24 +332,46 @@ pub fn evaluate_plan(
     }
 }
 
+/// Plans evaluated serially before the median-stopping threshold is
+/// frozen and the remaining plans fan out in parallel.
+const MEDIAN_WARMUP_PLANS: usize = 4;
+
 /// Runs the full sweep with the median-stopping rule and marks the Pareto
 /// frontier.
+///
+/// The first [`MEDIAN_WARMUP_PLANS`] configurations are evaluated
+/// serially (no stopping threshold exists yet — same as the original
+/// sequential sweep); the median of their probe statistics is then
+/// *frozen* and every remaining configuration is evaluated independently
+/// against it. That makes the remaining evaluations embarrassingly
+/// parallel, so they run on all cores when the default-on `parallel`
+/// feature is enabled. Results are collected back in plan order, and each
+/// evaluation is fully seeded, so the sweep is deterministic — the same
+/// `Vec` comes back with the feature on or off, on any thread count.
 pub fn sweep(base: &Model, space: &SearchSpace, ctx: &EvalContext<'_>) -> Vec<ConfigResult> {
+    let plans = space.plans();
+    let serial_n = plans.len().min(MEDIAN_WARMUP_PLANS);
     let mut results: Vec<ConfigResult> = Vec::new();
     let mut probe_losses: Vec<f32> = Vec::new();
-    for knobs in space.plans() {
-        let median = if probe_losses.len() >= 4 {
-            let mut sorted = probe_losses.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            Some(sorted[sorted.len() / 2])
-        } else {
-            None
-        };
-        let r = evaluate_plan(base, &knobs, ctx, median);
+    for knobs in &plans[..serial_n] {
+        let r = evaluate_plan(base, knobs, ctx, None);
         // The probe loss is not persisted in the result; approximate the
         // stopping statistics with observed accuracies inverted.
         probe_losses.push(1.0 - r.accuracy as f32);
         results.push(r);
+    }
+    if plans.len() > serial_n {
+        // Entering this branch implies serial_n == MEDIAN_WARMUP_PLANS,
+        // so the full warm-up ran and a median always exists.
+        let median = {
+            let mut sorted = probe_losses.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            sorted[sorted.len() / 2]
+        };
+        let rest = crate::parallel::par_map(plans[serial_n..].to_vec(), &|knobs| {
+            evaluate_plan(base, &knobs, ctx, Some(median))
+        });
+        results.extend(rest);
     }
     mark_pareto(&mut results);
     results
@@ -508,6 +534,35 @@ mod tests {
         c.fram_budget_words = 1;
         let results2 = sweep(&tiny_base(), &space, &c);
         assert!(choose(&results2).is_none());
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        // More plans than the serial warm-up, so the parallel fan-out is
+        // exercised; two runs must agree in order and in every metric.
+        let (train, test) = tiny_dataset();
+        let costs = CostTable::msp430fr5994();
+        let c = ctx(&train, &test, &costs);
+        let space = SearchSpace {
+            conv_seps: vec![None],
+            conv_densities: vec![1.0],
+            fc_ranks: vec![None, Some(4), Some(8)],
+            fc_densities: vec![1.0, 0.5, 0.3],
+        };
+        let a = sweep(&tiny_base(), &space, &c);
+        let b = sweep(&tiny_base(), &space, &c);
+        assert!(a.len() > MEDIAN_WARMUP_PLANS);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.macs, y.macs);
+            assert_eq!(x.fram_words, y.fram_words);
+            assert_eq!(x.accuracy, y.accuracy);
+            assert_eq!(x.e_infer_mj, y.e_infer_mj);
+            assert_eq!(x.impj, y.impj);
+            assert_eq!(x.pareto, y.pareto);
+            assert_eq!(x.early_stopped, y.early_stopped);
+        }
     }
 
     #[test]

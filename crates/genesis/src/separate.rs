@@ -32,11 +32,7 @@ pub fn separate_dense(layer: &Layer, rank: usize) -> (Layer, Layer) {
     };
     let (out, inp) = (d.w.shape()[0], d.w.shape()[1]);
     assert!(rank > 0 && rank <= out.min(inp), "invalid rank {rank}");
-    let a = Mat::from_vec(
-        out,
-        inp,
-        d.w.data().iter().map(|&v| v as f64).collect(),
-    );
+    let a = Mat::from_vec(out, inp, d.w.data().iter().map(|&v| v as f64).collect());
     let dec = svd(&a);
     // Hidden layer rows: Σ_k V_kᵀ (k × in); output layer: U_k (out × k).
     let mut hidden = Tensor::zeros(vec![rank, inp]);
@@ -95,24 +91,20 @@ pub fn separate_conv(layer: &Layer, r1: usize, r2: usize) -> SeparatedConv {
     // Model: w[f,c,ky,kx] = Σ_{a,b} P[f,b] · H[b,a,kx] · V[a,c,ky].
     // Initialize V from the SVD of the (c,ky)-mode unfolding, H randomly
     // deterministic, P solved first.
-    let unfold_v = Mat::from_vec(
-        nc * kh,
-        nf * kw,
-        {
-            let mut m = vec![0.0f64; nc * kh * nf * kw];
-            for f in 0..nf {
-                for c in 0..nc {
-                    for ky in 0..kh {
-                        for kx in 0..kw {
-                            m[(c * kh + ky) * (nf * kw) + f * kw + kx] =
-                                w[((f * nc + c) * kh + ky) * kw + kx];
-                        }
+    let unfold_v = Mat::from_vec(nc * kh, nf * kw, {
+        let mut m = vec![0.0f64; nc * kh * nf * kw];
+        for f in 0..nf {
+            for c in 0..nc {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        m[(c * kh + ky) * (nf * kw) + f * kw + kx] =
+                            w[((f * nc + c) * kh + ky) * kw + kx];
                     }
                 }
             }
-            m
-        },
-    );
+        }
+        m
+    });
     let dec = svd(&unfold_v);
     let mut v_fac = vec![0.0f64; r1 * nc * kh]; // V[a, c, ky]
     for a in 0..r1 {
@@ -265,7 +257,8 @@ pub fn separate_conv(layer: &Layer, r1: usize, r2: usize) -> SeparatedConv {
                     let mut acc = 0.0;
                     for f in 0..nf {
                         for kx in 0..kw {
-                            acc += q[(f * kw + kx) * r1 + a] * w[((f * nc + c) * kh + ky) * kw + kx];
+                            acc +=
+                                q[(f * kw + kx) * r1 + a] * w[((f * nc + c) * kh + ky) * kw + kx];
                         }
                     }
                     *rhs.at_mut(a, c * kh + ky) = acc;
@@ -407,6 +400,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn separate_conv_reconstructs_low_rank_filters() {
         // Build filters that are exactly rank-1 separable: w[f,c,ky,kx] =
         // p[f]·v[c,ky]·h[kx]; ALS at ranks (1,1) should fit near-exactly.

@@ -226,7 +226,10 @@ pub fn add_tiled_loop<F>(
 where
     F: FnMut(&mut Device, &mut AlpacaRt, u32) -> Result<(), PowerFailure> + 'static,
 {
-    assert!(total <= u16::MAX as u32, "tiled loop too long for u16 index");
+    assert!(
+        total <= u16::MAX as u32,
+        "tiled loop too long for u16 index"
+    );
     assert!(tile > 0, "tile must be positive");
     let self_id = graph.next_id();
     graph.add(name, move |dev, rt| {
@@ -374,7 +377,11 @@ mod tests {
         );
         let stats = run(&mut g, &mut rt, &mut dev, 0, &SchedulerConfig::task_based()).unwrap();
         assert!(stats.reboots > 0, "test requires actual power failures");
-        assert_eq!(dev.peek_word(acc), 50, "WAR protection must yield exactly-once");
+        assert_eq!(
+            dev.peek_word(acc),
+            50,
+            "WAR protection must yield exactly-once"
+        );
         assert_eq!(dev.peek_word(idx), 0);
     }
 

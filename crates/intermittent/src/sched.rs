@@ -381,16 +381,14 @@ mod tests {
         // Total work is several buffers' worth, but each chunk commits its
         // index to FRAM and pings progress — the SONIC pattern.
         let chunk = (buffer / 4) / per_op;
-        g.add("loop-continuation", move |dev, _| {
-            loop {
-                let i = dev.load_word(idx)?;
-                if i >= 20 {
-                    return Ok(Transition::Done);
-                }
-                dev.consume_n(Op::FxpMul, chunk)?;
-                dev.store_word(idx, i + 1)?;
-                dev.mark_progress();
+        g.add("loop-continuation", move |dev, _| loop {
+            let i = dev.load_word(idx)?;
+            if i >= 20 {
+                return Ok(Transition::Done);
             }
+            dev.consume_n(Op::FxpMul, chunk)?;
+            dev.store_word(idx, i + 1)?;
+            dev.mark_progress();
         });
         let stats = run(&mut g, &mut (), &mut dev, 0, &SchedulerConfig::task_based()).unwrap();
         assert_eq!(dev.peek_word(idx), 20);
@@ -495,7 +493,14 @@ mod tests {
             dev.mark_progress();
             Ok(Transition::Done)
         });
-        run(&mut g, &mut ctx, &mut dev, 0, &SchedulerConfig::task_based()).unwrap();
+        run(
+            &mut g,
+            &mut ctx,
+            &mut dev,
+            0,
+            &SchedulerConfig::task_based(),
+        )
+        .unwrap();
         // Body ran exactly once; the commit was attempted twice (one
         // failure, one replay) and after_commit fired exactly once.
         assert_eq!(dev.peek_word(runs), 1);

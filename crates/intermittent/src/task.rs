@@ -141,7 +141,10 @@ impl<C> Default for TaskGraph<C> {
 impl<C> core::fmt::Debug for TaskGraph<C> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("TaskGraph")
-            .field("tasks", &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>())
+            .field(
+                "tasks",
+                &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

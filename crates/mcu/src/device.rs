@@ -298,7 +298,7 @@ impl Device {
             }
             PowerSystem::Harvested(_) => {
                 let per = cost.energy_pj;
-                let fit = if per == 0 { n } else { (self.charge_pj / per).min(n) };
+                let fit = self.charge_pj.checked_div(per).unwrap_or(n).min(n);
                 if fit > 0 {
                     self.trace.charge(self.region, self.phase, op, fit, cost);
                     self.charge_pj -= fit * per;
@@ -725,8 +725,7 @@ mod tests {
         d.write(buf, 3, Q15::HALF).unwrap();
         assert_eq!(d.read(buf, 3).unwrap(), Q15::HALF);
         let t = CostTable::msp430fr5994();
-        let expect =
-            t.cost(Op::FramWrite).energy_pj + t.cost(Op::FramRead).energy_pj;
+        let expect = t.cost(Op::FramWrite).energy_pj + t.cost(Op::FramRead).energy_pj;
         assert_eq!(d.trace().total_energy_pj(), expect);
     }
 

@@ -234,8 +234,9 @@ pub fn trained(network: Network) -> TrainedNetwork {
     let calib: Vec<Tensor> = (0..8).map(|i| train_set.input(i)).collect();
     let qmodel = quantize(&mut model, &network.input_shape(), &calib);
     let mut correct = 0usize;
+    let mut scratch = dnn::quant::HostScratch::default();
     for i in 0..test_set.len() {
-        if qmodel.predict_host(&test_set.input(i)) == test_set.label(i) {
+        if qmodel.predict_host_with(&test_set.input(i), &mut scratch) == test_set.label(i) {
             correct += 1;
         }
     }

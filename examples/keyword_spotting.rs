@@ -17,11 +17,35 @@ fn main() {
     let spec = DeviceSpec::msp430fr5994();
     let input = net.qmodel.quantize_input(&net.test.input(0));
     for (name, cfg) in [
-        ("TAILS (LEA+DMA)", TailsConfig { use_lea: true, use_dma: true }),
-        ("no LEA", TailsConfig { use_lea: false, use_dma: true }),
-        ("no DMA", TailsConfig { use_lea: true, use_dma: false }),
+        (
+            "TAILS (LEA+DMA)",
+            TailsConfig {
+                use_lea: true,
+                use_dma: true,
+            },
+        ),
+        (
+            "no LEA",
+            TailsConfig {
+                use_lea: false,
+                use_dma: true,
+            },
+        ),
+        (
+            "no DMA",
+            TailsConfig {
+                use_lea: true,
+                use_dma: false,
+            },
+        ),
     ] {
-        let out = run_inference(&net.qmodel, &input, &spec, PowerSystem::cap_1mf(), &Backend::Tails(cfg));
+        let out = run_inference(
+            &net.qmodel,
+            &input,
+            &spec,
+            PowerSystem::cap_1mf(),
+            &Backend::Tails(cfg),
+        );
         println!(
             "{name:<16}: class {:?}, live {:.4} s, energy {:.3} mJ, {} reboots",
             out.class,

@@ -4,13 +4,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use rand::SeedableRng;
 use sonic_tails::dnn::layers::Layer;
 use sonic_tails::dnn::model::Model;
 use sonic_tails::dnn::quant::quantize;
 use sonic_tails::dnn::train::{toy_blobs, train, TrainConfig};
 use sonic_tails::mcu::{DeviceSpec, PowerSystem};
 use sonic_tails::sonic::exec::{run_inference, Backend};
-use rand::SeedableRng;
 
 fn main() {
     // 1. A small network on a toy 3-class problem.
@@ -32,7 +32,11 @@ fn main() {
     // 3. Run on the device, from bench power down to a 100 uF capacitor.
     let spec = DeviceSpec::msp430fr5994();
     let input = qm.quantize_input(&test_set.input(0));
-    for power in [PowerSystem::continuous(), PowerSystem::cap_1mf(), PowerSystem::cap_100uf()] {
+    for power in [
+        PowerSystem::continuous(),
+        PowerSystem::cap_1mf(),
+        PowerSystem::cap_100uf(),
+    ] {
         let out = run_inference(&qm, &input, &spec, power, &Backend::Sonic);
         println!(
             "{:>5}: class {:?} (truth {}), {} power failures, {:.3} mJ, {:.4} s total",

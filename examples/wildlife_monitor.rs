@@ -11,14 +11,26 @@ use sonic_tails::models::{trained, Network};
 use sonic_tails::sonic::exec::{run_inference, Backend};
 
 fn main() {
-    println!("== IMpJ analysis (p = {}, E_comm = {} mJ) ==", WILDLIFE.p, WILDLIFE.e_comm_mj);
+    println!(
+        "== IMpJ analysis (p = {}, E_comm = {} mJ) ==",
+        WILDLIFE.p, WILDLIFE.e_comm_mj
+    );
     for result_only in [false, true] {
         let pts = sweep_accuracy(&WILDLIFE, 4, result_only);
         let last = pts.last().unwrap();
         println!(
             "{}: baseline {:.2}, ideal {:.2}, naive({} mJ) {:.2}, S&T({} mJ) {:.2} IMpJ",
-            if result_only { "send result only" } else { "send full image " },
-            last.baseline, last.ideal, E_INFER_NAIVE_MJ, last.naive, E_INFER_TAILS_MJ, last.sonic_tails
+            if result_only {
+                "send result only"
+            } else {
+                "send full image "
+            },
+            last.baseline,
+            last.ideal,
+            E_INFER_NAIVE_MJ,
+            last.naive,
+            E_INFER_TAILS_MJ,
+            last.sonic_tails
         );
     }
 
@@ -29,14 +41,23 @@ fn main() {
     let mut sent = 0;
     for i in 0..5.min(net.test.len()) {
         let input = net.qmodel.quantize_input(&net.test.input(i));
-        let out = run_inference(&net.qmodel, &input, &spec, PowerSystem::cap_100uf(), &Backend::Sonic);
+        let out = run_inference(
+            &net.qmodel,
+            &input,
+            &spec,
+            PowerSystem::cap_100uf(),
+            &Backend::Sonic,
+        );
         let detected = out.class == Some(interesting);
         if detected {
             sent += 1;
         }
         println!(
             "frame {i}: class {:?} (truth {}), detected={detected}, {:.1} s total, {} reboots",
-            out.class, net.test.label(i), out.total_secs(&spec), out.trace.reboots
+            out.class,
+            net.test.label(i),
+            out.total_secs(&spec),
+            out.trace.reboots
         );
     }
     println!("transmitted {sent} detection messages instead of 5 images");

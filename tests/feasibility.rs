@@ -22,8 +22,9 @@ fn oversized_model_fails_to_deploy() {
         Layer::relu(),
         Layer::dense(600, 120, &mut rng),
     ]);
-    let calib: Vec<Tensor> =
-        (0..2).map(|_| Tensor::uniform(vec![600], 0.9, &mut rng)).collect();
+    let calib: Vec<Tensor> = (0..2)
+        .map(|_| Tensor::uniform(vec![600], 0.9, &mut rng))
+        .collect();
     let qm = quantize(&mut model, &[600], &calib);
     // Artificially shrink the device to make the point cheaply.
     let mut spec = DeviceSpec::msp430fr5994();
@@ -37,8 +38,9 @@ fn oversized_model_fails_to_deploy() {
 fn feasible_model_deploys_within_budget() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
     let mut model = Model::new(vec![Layer::dense(64, 10, &mut rng)]);
-    let calib: Vec<Tensor> =
-        (0..2).map(|_| Tensor::uniform(vec![64], 0.9, &mut rng)).collect();
+    let calib: Vec<Tensor> = (0..2)
+        .map(|_| Tensor::uniform(vec![64], 0.9, &mut rng))
+        .collect();
     let qm = quantize(&mut model, &[64], &calib);
     let mut dev = Device::new(DeviceSpec::msp430fr5994(), PowerSystem::continuous());
     let dm = deploy(&mut dev, &qm).expect("should fit");

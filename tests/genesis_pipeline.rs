@@ -2,12 +2,12 @@
 //! Pareto, feasibility, choice, deployment of the chosen configuration.
 
 use dnn::train::TrainConfig;
+use rand::SeedableRng;
 use sonic_tails::dnn;
 use sonic_tails::genesis::imp::WILDLIFE;
 use sonic_tails::genesis::search::{choose, sweep, EvalContext, SearchSpace};
 use sonic_tails::mcu::{CostTable, DeviceSpec, PowerSystem};
 use sonic_tails::sonic::exec::{run_inference, Backend};
-use rand::SeedableRng;
 
 #[test]
 fn genesis_chooses_a_deployable_configuration() {
@@ -23,7 +23,10 @@ fn genesis_chooses_a_deployable_configuration() {
     let ctx = EvalContext {
         train: &train,
         test: &test,
-        retrain: TrainConfig { epochs: 3, ..TrainConfig::default() },
+        retrain: TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
         fram_budget_words: 125_000,
         costs: &costs,
         interesting_class: 0,
@@ -36,7 +39,10 @@ fn genesis_chooses_a_deployable_configuration() {
         fc_densities: vec![1.0, 0.2],
     };
     let results = sweep(&base, &space, &ctx);
-    assert!(results.iter().any(|r| r.pareto), "frontier must be non-empty");
+    assert!(
+        results.iter().any(|r| r.pareto),
+        "frontier must be non-empty"
+    );
     let chosen = choose(&results).expect("a feasible configuration exists");
     assert!(chosen.feasible);
 

@@ -34,7 +34,14 @@ fn pipeline_model() -> (sonic_tails::dnn::quant::QModel, Vec<fxp::Q15>, usize) {
     let mut compressed = apply_knobs(&base, &knobs);
     // Re-train on reshaped data.
     let reshaped = reshape_dataset(&train_set);
-    train(&mut compressed, &reshaped, &TrainConfig { epochs: 4, ..TrainConfig::default() });
+    train(
+        &mut compressed,
+        &reshaped,
+        &TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        },
+    );
     let calib: Vec<Tensor> = (0..4).map(|i| reshaped.input(i)).collect();
     let qm = quantize(&mut compressed, &[3, 1, 9], &calib);
     let test_reshaped = reshape_dataset(&test_set);
@@ -97,9 +104,8 @@ fn imp_model_prefers_efficient_inference() {
 fn energy_ordering_matches_paper_shape() {
     let (qm, input, _) = pipeline_model();
     let spec = DeviceSpec::msp430fr5994();
-    let energy = |b: &Backend| {
-        run_inference(&qm, &input, &spec, PowerSystem::continuous(), b).energy_mj()
-    };
+    let energy =
+        |b: &Backend| run_inference(&qm, &input, &spec, PowerSystem::continuous(), b).energy_mj();
     let base = energy(&Backend::Baseline);
     let sonic = energy(&Backend::Sonic);
     let tile8 = energy(&Backend::Tiled(8));
@@ -109,5 +115,8 @@ fn energy_ordering_matches_paper_shape() {
     // Tile-8 vs Tile-128 ordering is not meaningful here (the full-size
     // ordering is exercised by the fig09 bench); both must cost well more
     // than SONIC, which is the paper's structural claim.
-    assert!(tile8 > sonic && tile128 > sonic, "tiling must cost more than SONIC");
+    assert!(
+        tile8 > sonic && tile128 > sonic,
+        "tiling must cost more than SONIC"
+    );
 }

@@ -11,9 +11,12 @@ use sonic_tails::dnn::tensor::Tensor;
 use sonic_tails::mcu::{DeviceSpec, PowerSystem};
 use sonic_tails::sonic::exec::{run_inference, Backend, TailsConfig};
 
-fn random_qmodel(seed: u64, filters: usize, hidden: usize, prune: bool)
-    -> (sonic_tails::dnn::quant::QModel, Vec<fxp::Q15>)
-{
+fn random_qmodel(
+    seed: u64,
+    filters: usize,
+    hidden: usize,
+    prune: bool,
+) -> (sonic_tails::dnn::quant::QModel, Vec<fxp::Q15>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut model = Model::new(vec![
         Layer::conv2d(filters, 1, 3, 3, &mut rng),

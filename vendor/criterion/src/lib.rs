@@ -1,0 +1,199 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This stand-in supports the macro-driven surface the
+//! workspace's `benches/` targets use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`], and
+//! [`black_box`] — with a simple warm-up + timed-batch measurement loop.
+//!
+//! Results print as `name  time: [median mean max] ns/iter`. Statistical
+//! analysis, HTML reports, and comparison against saved baselines are not
+//! implemented; benches print measurements and exit.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Per-batch mean ns/iter samples collected by [`Bencher::iter`].
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration) -> Self {
+        Bencher {
+            warm_up,
+            measure,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Measures `routine`, collecting per-batch mean times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Split the measurement budget into ~20 batches.
+        let total_iters = (self.measure.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+        let batches = 20u64;
+        let batch_iters = (total_iters / batches).max(1);
+        self.samples_ns.clear();
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch_iters as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+/// Summary statistics of one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median ns per iteration.
+    pub median_ns: f64,
+    /// Mean ns per iteration.
+    pub mean_ns: f64,
+    /// Slowest batch's ns per iteration.
+    pub max_ns: f64,
+}
+
+fn summarize(samples: &[f64]) -> Measurement {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median_ns = sorted[sorted.len() / 2];
+    let mean_ns = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let max_ns = *sorted.last().expect("non-empty samples");
+    Measurement {
+        median_ns,
+        mean_ns,
+        max_ns,
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    /// `(name, median ns/iter)` for every completed benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_QUICK=1 shrinks the budget for smoke runs (CI).
+        let quick = std::env::var("CRITERION_QUICK").is_ok();
+        Criterion {
+            warm_up: Duration::from_millis(if quick { 5 } else { 50 }),
+            measure: Duration::from_millis(if quick { 25 } else { 300 }),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warm_up, self.measure);
+        f(&mut b);
+        if b.samples_ns.is_empty() {
+            println!("{id:<40} (no measurement: Bencher::iter never called)");
+            return self;
+        }
+        let m = summarize(&b.samples_ns);
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            human(m.median_ns),
+            human(m.mean_ns),
+            human(m.max_ns)
+        );
+        self.results.push((id.to_string(), m.median_ns));
+        self
+    }
+
+    /// Median ns/iter of a prior benchmark in this run, if recorded.
+    pub fn median_ns(&self, id: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|&(_, ns)| ns)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut acc = 0u64;
+        c.bench_function("noop-add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        let ns = c.median_ns("noop-add").expect("recorded");
+        assert!(ns > 0.0 && ns < 1e7, "implausible ns/iter: {ns}");
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert!(human(12.0).contains("ns"));
+        assert!(human(12_000.0).contains("µs"));
+        assert!(human(12_000_000.0).contains("ms"));
+        assert!(human(2e9).contains(" s"));
+    }
+}

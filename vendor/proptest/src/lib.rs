@@ -1,0 +1,312 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build container has no network access, so the real `proptest`
+//! cannot be fetched. This stand-in supports the surface the workspace
+//! uses: the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!`, `any::<T>()`, numeric-range
+//! strategies, `prop::collection::vec`, and `prop::sample::select`.
+//!
+//! Unlike upstream, failing cases are not shrunk — the failing inputs are
+//! reported verbatim. Case generation is deterministic: the RNG is seeded
+//! from the test's name, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset of upstream's).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Seeds the per-test RNG from the test's name (stable across runs).
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the name; any stable hash works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Generates values of an associated type from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                use rand::RngCore as _;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        use rand::RngCore as _;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy for [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from a non-empty list of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface used by property tests.
+
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!(concat!("prop_assert failed: ", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            panic!(
+                concat!(
+                    "prop_assert_eq failed: ",
+                    stringify!($a),
+                    " != ",
+                    stringify!($b),
+                    "\n  left:  {:?}\n  right: {:?}"
+                ),
+                a, b
+            );
+        }
+    }};
+}
+
+/// Declares property tests. Each body runs for `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::__seed_rng(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(err) = __result {
+                        let msg = if let Some(s) = err.downcast_ref::<String>() {
+                            s.clone()
+                        } else if let Some(s) = err.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else {
+                            "panic".to_string()
+                        };
+                        panic!(
+                            "property {} failed at case {}/{}:\n  {}\n  inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i32..5, y in 0.0f64..1.0) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<i16>(), 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+        }
+
+        #[test]
+        fn select_picks_an_option(t in prop::sample::select(vec![8u32, 32])) {
+            prop_assert!(t == 8 || t == 32);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_limits_cases(b in any::<bool>()) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assert failed")]
+    fn prop_assert_panics_with_context() {
+        prop_assert!(1 + 1 == 3);
+    }
+}
