@@ -1,11 +1,14 @@
-//! Fig. 9: inference time for 6 implementations x 3 networks x 4 power
-//! systems, including "does not complete" outcomes.
+//! Fig. 9, population edition: 6 implementations x 3 networks x 4 power
+//! systems x `FLEET_INPUTS` (default 8) test inputs through the fleet
+//! engine, including "does not complete" outcomes and per-cell
+//! accuracy / DNC-rate / latency percentiles.
 fn main() {
     let nets = bench::experiments::paper_networks();
     let powers = bench::experiments::fig9_powers();
     let backends = bench::experiments::fig9_backends();
-    let (t, raw) = bench::experiments::fig9(&nets, &powers, &backends);
-    println!("== Fig. 9: inference time ==");
+    let inputs = bench::experiments::fleet_inputs_count();
+    let (t, raw) = bench::experiments::fig9(&nets, &powers, &backends, inputs);
+    println!("== Fig. 9: inference populations ({inputs} inputs per cell) ==");
     println!("{}", t.render());
     println!("== §9.1 headline ratios (continuous power) ==");
     println!("{}", bench::experiments::continuous_ratios(&raw).render());

@@ -3,7 +3,7 @@ use mcu::PowerSystem;
 fn main() {
     let nets = bench::experiments::paper_networks();
     let backends = bench::experiments::fig9_backends();
-    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::continuous()], &backends);
+    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::continuous()], &backends, 1);
     println!("== Fig. 10: kernel vs control cycles per layer ==");
     println!("{}", bench::experiments::fig10(&raw).render());
 }

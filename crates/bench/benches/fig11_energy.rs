@@ -3,7 +3,7 @@ use mcu::PowerSystem;
 fn main() {
     let nets = bench::experiments::paper_networks();
     let backends = bench::experiments::fig9_backends();
-    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::cap_1mf()], &backends);
+    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::cap_1mf()], &backends, 1);
     println!("== Fig. 11: inference energy @ 1 mF ==");
     println!("{}", bench::experiments::fig11(&raw).render());
 }

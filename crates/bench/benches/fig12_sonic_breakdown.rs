@@ -3,7 +3,8 @@ use mcu::PowerSystem;
 use sonic::exec::Backend;
 fn main() {
     let nets = bench::experiments::paper_networks();
-    let (_, raw) = bench::experiments::fig9(&nets, &[PowerSystem::continuous()], &[Backend::Sonic]);
+    let (_, raw) =
+        bench::experiments::fig9(&nets, &[PowerSystem::continuous()], &[Backend::Sonic], 1);
     println!("== Fig. 12: SONIC energy breakdown ==");
     println!("{}", bench::experiments::fig12(&raw).render());
     for (net, _, _, out) in &raw {

@@ -1,0 +1,62 @@
+//! The fleet evaluation: the paper suite (3 networks × 4 power systems ×
+//! 6 backends) plus two time-varying harvest scenarios, with `FLEET_INPUTS`
+//! (default 8) seeded test inputs per cell.
+//!
+//! Environment knobs:
+//! - `FLEET_INPUTS=n` — inputs per cell (default 8).
+//! - `FLEET_NETS=MNIST,HAR` — comma-separated network filter (default all).
+use bench::report::{save_csv, FleetReport};
+use mcu::DeviceSpec;
+use sonic::fleet::{fleet_digest, run_fleet, FleetJob};
+
+fn main() {
+    let filter: Option<Vec<String>> = std::env::var("FLEET_NETS")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_uppercase()).collect());
+    let nets: Vec<_> = bench::experiments::paper_networks()
+        .into_iter()
+        .filter(|tn| {
+            filter
+                .as_ref()
+                .map(|f| f.iter().any(|n| n == &tn.network.label().to_uppercase()))
+                .unwrap_or(true)
+        })
+        .collect();
+    let powers = bench::experiments::fleet_powers();
+    let backends = bench::experiments::fig9_backends();
+    let inputs = bench::experiments::fleet_inputs_count();
+    let spec = DeviceSpec::msp430fr5994();
+
+    println!(
+        "== fleet: {} networks x {} power systems x {} backends x {} inputs ==",
+        nets.len(),
+        powers.len(),
+        backends.len(),
+        inputs
+    );
+    let mut report = FleetReport::default();
+    let mut digest = 0u64;
+    for tn in &nets {
+        let job = FleetJob {
+            qmodel: &tn.qmodel,
+            spec: spec.clone(),
+            inputs: bench::experiments::fleet_inputs(tn, inputs, bench::experiments::FLEET_SEED),
+            backends: backends.clone(),
+            powers: powers.clone(),
+        };
+        let cells = run_fleet(&job);
+        digest ^= fleet_digest(&cells).rotate_left(tn.network.label().len() as u32);
+        for cell in cells {
+            report
+                .rows
+                .push((tn.network.label().to_string(), cell.summarize(&spec)));
+        }
+    }
+    let t = report.table();
+    println!("{}", t.render());
+    save_csv("fleet", &t);
+    println!(
+        "fleet digest: {digest:#018x} (bit-identical across runs and with the \
+         `parallel` feature on or off)"
+    );
+}

@@ -1,12 +1,14 @@
 //! Drivers for every evaluation figure and table.
 
-use crate::report::{ratio, save_csv, secs, Table};
+use crate::report::{ratio, save_csv, secs, FleetReport, Table};
 use dnn::train::TrainConfig;
 use genesis::imp::{sweep_accuracy, WILDLIFE};
 use genesis::search::{choose, sweep, EvalContext, SearchSpace};
-use mcu::{CostTable, DeviceSpec, Op, PowerSystem};
+use mcu::{CostTable, DeviceSpec, HarvestProfile, Op, PowerSystem};
 use models::{trained, Network, TrainedNetwork};
-use sonic::exec::{run_inference, Backend, InferenceOutcome, TailsConfig};
+use rand::{Rng, SeedableRng};
+use sonic::exec::{Backend, InferenceOutcome, TailsConfig};
+use sonic::fleet::{run_fleet, FleetInput, FleetJob};
 
 /// Figs. 1 and 2: IMpJ vs accuracy for the wildlife-monitoring case study.
 pub fn fig_imp(result_only: bool) -> Table {
@@ -178,61 +180,121 @@ pub fn table2(nets: &[TrainedNetwork]) -> Table {
     t
 }
 
-/// One Fig. 9 cell: a single inference of `net` with `backend` on `power`.
-pub fn run_cell(tn: &TrainedNetwork, backend: &Backend, power: PowerSystem) -> InferenceOutcome {
-    let spec = DeviceSpec::msp430fr5994();
-    let input = tn.qmodel.quantize_input(&tn.test.input(0));
-    run_inference(&tn.qmodel, &input, &spec, power, backend)
+/// Seed for fleet input selection; fixed so every harness invocation
+/// evaluates the same population.
+pub const FLEET_SEED: u64 = 0xF1EE7;
+
+/// Number of test inputs per fleet cell: `FLEET_INPUTS` env override,
+/// default 8 (the paper-suite acceptance floor).
+pub fn fleet_inputs_count() -> usize {
+    std::env::var("FLEET_INPUTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8)
 }
 
-/// Fig. 9: inference time for every (network, backend, power system).
-/// Returns the table plus the raw outcomes for reuse by Figs. 10–12.
+/// Draws `n` seeded test-set inputs for a fleet run. The first input is
+/// always test index 0 (the input the historical single-run harness
+/// used); the rest are a seeded uniform sample of the test set.
+pub fn fleet_inputs(tn: &TrainedNetwork, n: usize, seed: u64) -> Vec<FleetInput> {
+    // Mix the network label into the seed (FNV-1a) so each network
+    // samples its own input population.
+    let label_hash = tn
+        .network
+        .label()
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ label_hash);
+    (0..n)
+        .map(|k| {
+            let i = if k == 0 {
+                0
+            } else {
+                rng.gen_range(0..tn.test.len())
+            };
+            FleetInput {
+                input: tn.qmodel.quantize_input(&tn.test.input(i)),
+                label: Some(tn.test.label(i)),
+            }
+        })
+        .collect()
+}
+
+/// The power systems for the extended fleet evaluation: the paper suite
+/// plus two time-varying harvest scenarios on the 1 mF buffer — a
+/// square-wave occlusion (transmitter blocked half the time) and a
+/// seeded pseudo-random occlusion trace.
+pub fn fleet_powers() -> Vec<PowerSystem> {
+    let mut powers = PowerSystem::paper_suite().to_vec();
+    powers.push(PowerSystem::harvested_with(
+        1e-3,
+        HarvestProfile::Square {
+            high_w: mcu::power::RF_HARVEST_UW * 1e-6,
+            low_w: 0.0,
+            period_s: 2.0,
+            duty: 0.5,
+        },
+    ));
+    powers.push(PowerSystem::harvested_with(
+        1e-3,
+        HarvestProfile::seeded_occlusion(mcu::power::RF_HARVEST_UW * 1e-6, 4.0, 8, FLEET_SEED),
+    ));
+    powers
+}
+
+/// One Fig. 9 cell: a single inference of `net` with `backend` on
+/// `power`, executed through the fleet engine (a 1×1×1 fleet).
+pub fn run_cell(tn: &TrainedNetwork, backend: &Backend, power: PowerSystem) -> InferenceOutcome {
+    let job = FleetJob {
+        qmodel: &tn.qmodel,
+        spec: DeviceSpec::msp430fr5994(),
+        inputs: fleet_inputs(tn, 1, FLEET_SEED),
+        backends: vec![*backend],
+        powers: vec![power],
+    };
+    let mut cells = run_fleet(&job);
+    cells.remove(0).runs.remove(0).outcome
+}
+
+/// Fig. 9, population edition: `inputs_per_cell` test inputs through
+/// every (network, backend, power system) cell via the fleet engine.
+/// The table reports per-cell accuracy, completion (DNC) rate, and
+/// latency/energy/reboot distributions; the raw vector carries each
+/// cell's *first* run (test input 0 — the historical single-run cell)
+/// for reuse by Figs. 10–12.
 pub fn fig9(
     nets: &[TrainedNetwork],
     powers: &[PowerSystem],
     backends: &[Backend],
+    inputs_per_cell: usize,
 ) -> (Table, Vec<(String, String, String, InferenceOutcome)>) {
     let spec = DeviceSpec::msp430fr5994();
-    let mut t = Table::new(&[
-        "network",
-        "power",
-        "impl",
-        "completed",
-        "live(s)",
-        "dead(s)",
-        "total(s)",
-        "energy(mJ)",
-        "reboots",
-    ]);
+    let mut report = FleetReport::default();
     let mut raw = Vec::new();
     for tn in nets {
-        for &power in powers {
-            for backend in backends {
-                let out = run_cell(tn, backend, power);
-                t.row(vec![
-                    tn.network.label().to_string(),
-                    power.label(),
-                    backend.label(),
-                    if out.completed {
-                        "yes".into()
-                    } else {
-                        "DNC".into()
-                    },
-                    secs(out.live_secs(&spec)),
-                    secs(out.trace.dead_secs),
-                    secs(out.total_secs(&spec)),
-                    format!("{:.3}", out.energy_mj()),
-                    out.trace.reboots.to_string(),
-                ]);
-                raw.push((
-                    tn.network.label().to_string(),
-                    power.label(),
-                    backend.label(),
-                    out,
-                ));
-            }
+        let job = FleetJob {
+            qmodel: &tn.qmodel,
+            spec: spec.clone(),
+            inputs: fleet_inputs(tn, inputs_per_cell, FLEET_SEED),
+            backends: backends.to_vec(),
+            powers: powers.to_vec(),
+        };
+        for cell in run_fleet(&job) {
+            report
+                .rows
+                .push((tn.network.label().to_string(), cell.summarize(&spec)));
+            raw.push((
+                tn.network.label().to_string(),
+                cell.power.clone(),
+                cell.backend.clone(),
+                cell.runs[0].outcome.clone(),
+            ));
         }
     }
+    let t = report.table();
     save_csv("fig09", &t);
     (t, raw)
 }
@@ -533,7 +595,7 @@ pub fn fig6() -> Table {
     let mut t = Table::new(&["strategy", "completed", "reboots", "live(Mcyc)"]);
 
     for tile in [5u32, 12] {
-        let mut dev = Device::new(spec.clone(), power);
+        let mut dev = Device::new(spec.clone(), power.clone());
         let idx = dev.fram_alloc_word().unwrap();
         let mut rt = AlpacaRt::new(&mut dev).unwrap();
         let mut g = TaskGraph::new();

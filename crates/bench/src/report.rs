@@ -1,5 +1,6 @@
 //! Plain-text tables and CSV output for the experiment harness.
 
+use sonic::fleet::CellSummary;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -92,6 +93,57 @@ pub fn save_csv(name: &str, table: &Table) {
     }
 }
 
+/// Population-level results of a fleet evaluation: one row per
+/// `(network, power, backend)` cell, summarizing accuracy over the test
+/// inputs, completion (DNC) rate, and latency/energy/reboot
+/// distributions.
+#[derive(Debug, Default)]
+pub struct FleetReport {
+    /// `(network label, cell summary)` rows in fleet submission order.
+    pub rows: Vec<(String, CellSummary)>,
+}
+
+impl FleetReport {
+    /// Renders the report as a column-aligned [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "network",
+            "power",
+            "impl",
+            "runs",
+            "done",
+            "DNC-rate",
+            "accuracy",
+            "p50-total(s)",
+            "p95-total(s)",
+            "mean-E(mJ)",
+            "p95-E(mJ)",
+            "mean-reboots",
+        ]);
+        let opt = |v: Option<f64>, f: &dyn Fn(f64) -> String| match v {
+            Some(x) => f(x),
+            None => "-".to_string(),
+        };
+        for (net, s) in &self.rows {
+            t.row(vec![
+                net.clone(),
+                s.power.clone(),
+                s.backend.clone(),
+                s.runs.to_string(),
+                s.completed.to_string(),
+                format!("{:.2}", 1.0 - s.completion_rate),
+                opt(s.accuracy, &|a| format!("{a:.3}")),
+                opt(s.total_secs.map(|x| x.p50), &|v| secs(v)),
+                opt(s.total_secs.map(|x| x.p95), &|v| secs(v)),
+                opt(s.energy_mj.map(|x| x.mean), &|e| format!("{e:.3}")),
+                opt(s.energy_mj.map(|x| x.p95), &|e| format!("{e:.3}")),
+                opt(s.reboots.map(|x| x.mean), &|r| format!("{r:.1}")),
+            ]);
+        }
+        t
+    }
+}
+
 /// Formats seconds with sensible precision.
 pub fn secs(v: f64) -> String {
     if v >= 100.0 {
@@ -135,6 +187,56 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new(&["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fleet_report_renders_populations_and_dnc_cells() {
+        use sonic::fleet::Stats;
+        let done = CellSummary {
+            backend: "SONIC".into(),
+            power: "1mF".into(),
+            runs: 8,
+            completed: 8,
+            completion_rate: 1.0,
+            accuracy: Some(0.875),
+            total_secs: Some(Stats {
+                mean: 2.0,
+                p50: 1.5,
+                p95: 4.25,
+            }),
+            energy_mj: Some(Stats {
+                mean: 0.9,
+                p50: 0.8,
+                p95: 1.2,
+            }),
+            reboots: Some(Stats {
+                mean: 12.5,
+                p50: 12.0,
+                p95: 20.0,
+            }),
+        };
+        let dnc = CellSummary {
+            backend: "Base".into(),
+            power: "100uF".into(),
+            runs: 8,
+            completed: 0,
+            completion_rate: 0.0,
+            accuracy: Some(0.0),
+            total_secs: None,
+            energy_mj: None,
+            reboots: None,
+        };
+        let rep = FleetReport {
+            rows: vec![("HAR".into(), done), ("HAR".into(), dnc)],
+        };
+        let s = rep.table().render();
+        assert!(s.contains("DNC-rate"), "{s}");
+        assert!(s.contains("0.875"), "{s}");
+        assert!(s.contains("4.25"), "p95 column: {s}");
+        // Nothing completed: distribution columns show a dash.
+        let dnc_line = s.lines().find(|l| l.contains("Base")).unwrap();
+        assert!(dnc_line.contains("1.00"), "DNC rate: {dnc_line}");
+        assert!(dnc_line.contains('-'), "{dnc_line}");
     }
 
     #[test]

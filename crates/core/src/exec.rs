@@ -121,7 +121,19 @@ pub fn run_inference(
 
 /// Runs one inference over an already-deployed model (the input must be
 /// loaded). Useful for repeated inferences on one device.
+///
+/// The returned [`InferenceOutcome::trace`] is a **per-run** report: a
+/// trace epoch begins when this function is entered, so back-to-back runs
+/// on one deployment report their own energy, live cycles, dead time, and
+/// reboots instead of device-lifetime cumulative totals (which silently
+/// double-counted for every run after the first).
 pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> InferenceOutcome {
+    dev.begin_epoch();
+    // Runtime construction allocates per-run working state (TAILS SRAM
+    // staging buffers, the Alpaca commit log); rewind it afterwards so a
+    // reused deployment links every run against the identical layout
+    // instead of leaking the arenas.
+    let alloc_marks = dev.alloc_watermarks();
     let power_label = dev.power().label();
     let result: Result<RunStats, RunError> = match backend {
         Backend::Baseline => {
@@ -151,7 +163,8 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
             run(&mut g, &mut (), dev, 0, &SchedulerConfig::task_based())
         }
     };
-    let trace = dev.trace().report();
+    let trace = dev.epoch_report();
+    dev.rewind_allocs(alloc_marks);
     match result {
         Ok(stats) => {
             let output = dm.read_output(dev);
@@ -526,5 +539,52 @@ mod edge_case_tests {
         let second = run_deployed(&mut dev, &dm, &Backend::Sonic);
         assert!(first.completed && second.completed);
         assert_eq!(first.output, second.output, "state must self-reset");
+    }
+
+    /// Regression test for the cumulative-trace bug: `run_deployed` used
+    /// to report the device-lifetime trace, so the second of two
+    /// identical runs reported double the energy and live time.
+    #[test]
+    fn back_to_back_runs_report_per_run_traces_not_cumulative() {
+        let (qm, input) = crate::exec::tests_support::tiny_pruned_qmodel();
+        let spec = DeviceSpec::msp430fr5994();
+
+        // Continuous power: the second run must report the same (not
+        // doubled) energy and live cycles, and zero dead time/reboots.
+        let mut dev = Device::new(spec.clone(), PowerSystem::continuous());
+        let dm = crate::deploy::deploy(&mut dev, &qm).unwrap();
+        dm.load_input(&mut dev, &input);
+        let first = run_deployed(&mut dev, &dm, &Backend::Sonic);
+        dm.load_input(&mut dev, &input);
+        let second = run_deployed(&mut dev, &dm, &Backend::Sonic);
+        assert!(first.completed && second.completed);
+        assert!(first.trace.total_energy_pj > 0);
+        assert_eq!(first.trace.total_energy_pj, second.trace.total_energy_pj);
+        assert_eq!(first.trace.live_cycles, second.trace.live_cycles);
+        assert_eq!(first.trace.dead_secs, second.trace.dead_secs);
+        assert_eq!(first.trace.reboots, second.trace.reboots);
+
+        // Harvested power with real reboots: drain and reboot before each
+        // run (outside any epoch) so both runs start from the identical
+        // post-boot charge — identical physics, so *all four* per-run
+        // quantities must match exactly, including dead seconds and
+        // reboots.
+        let mut dev = Device::new(spec, PowerSystem::harvested(8e-6));
+        let dm = crate::deploy::deploy(&mut dev, &qm).unwrap();
+        while dev.consume(mcu::Op::Nop).is_ok() {}
+        dev.reboot().unwrap();
+        dm.load_input(&mut dev, &input);
+        let first = run_deployed(&mut dev, &dm, &Backend::Sonic);
+        assert!(first.completed);
+        assert!(first.trace.reboots > 0, "test needs real power failures");
+        while dev.consume(mcu::Op::Nop).is_ok() {}
+        dev.reboot().unwrap();
+        dm.load_input(&mut dev, &input);
+        let second = run_deployed(&mut dev, &dm, &Backend::Sonic);
+        assert!(second.completed);
+        assert_eq!(first.trace.total_energy_pj, second.trace.total_energy_pj);
+        assert_eq!(first.trace.live_cycles, second.trace.live_cycles);
+        assert_eq!(first.trace.reboots, second.trace.reboots);
+        assert_eq!(first.trace.dead_secs, second.trace.dead_secs);
     }
 }

@@ -1,0 +1,492 @@
+//! The fleet evaluation engine: populations of inferences per cell.
+//!
+//! The paper's headline results (Fig. 9, Table 2) are statements about
+//! *populations* of inferences — accuracy over a test set, completion
+//! rates, latency distributions — under harvested power. A [`FleetJob`]
+//! runs many test-set inputs through every `(backend, power system)` cell
+//! and reports per-run outcomes plus distributional summaries
+//! ([`CellSummary`]), replacing the one-input-per-cell serial harness.
+//!
+//! # Execution model
+//!
+//! Each cell owns one simulated [`Device`]: the model is deployed
+//! (flashed) once and every input runs over that same deployment, exactly
+//! like a fielded sensor running inference after inference. Per-run
+//! numbers come from trace epochs (see [`crate::exec::run_deployed`]), so
+//! runs do not accumulate into each other; time-varying harvest profiles
+//! keep integrating on the device's absolute clock across runs, so a run
+//! that starts mid-occlusion really waits.
+//!
+//! # Determinism
+//!
+//! Cells are fanned across threads with the same `std::thread::scope`
+//! work-queue + indexed-collect pattern as `genesis`'s parallel sweep
+//! (one `Device` per in-flight cell, results sorted back into submission
+//! order). Every cell is a pure function of the job, so fleet results are
+//! bit-identical with the `parallel` feature on or off and across
+//! repeated runs — which the test suite pins via [`fleet_digest`].
+
+use crate::deploy::{deploy, reset_control_words};
+use crate::exec::{run_deployed, Backend, InferenceOutcome};
+use dnn::quant::QModel;
+use fxp::Q15;
+use mcu::{Device, DeviceSpec, PowerSystem};
+
+/// One input for fleet evaluation: the quantized sensor reading plus its
+/// ground-truth label (when known).
+#[derive(Clone, Debug)]
+pub struct FleetInput {
+    /// The quantized input vector.
+    pub input: Vec<Q15>,
+    /// Ground-truth class, for accuracy accounting.
+    pub label: Option<usize>,
+}
+
+/// A fleet evaluation: every input through every (backend, power) cell.
+#[derive(Clone, Debug)]
+pub struct FleetJob<'a> {
+    /// The quantized model to deploy.
+    pub qmodel: &'a QModel,
+    /// Device specification for every cell.
+    pub spec: DeviceSpec,
+    /// Inputs run in order on each cell's deployment.
+    pub inputs: Vec<FleetInput>,
+    /// Backends under evaluation.
+    pub backends: Vec<Backend>,
+    /// Power systems under evaluation (profiles may be time-varying).
+    pub powers: Vec<PowerSystem>,
+}
+
+/// One inference of a fleet cell.
+#[derive(Clone, Debug)]
+pub struct FleetRun {
+    /// Index into [`FleetJob::inputs`].
+    pub input_index: usize,
+    /// `Some(predicted == label)` when both are known; DNC counts as
+    /// incorrect in [`CellSummary::accuracy`].
+    pub correct: Option<bool>,
+    /// The full per-run outcome (epoch-delta trace included).
+    pub outcome: InferenceOutcome,
+}
+
+/// All runs of one (backend, power) cell, on one long-lived deployment.
+#[derive(Clone, Debug)]
+pub struct FleetCell {
+    /// Index into [`FleetJob::backends`].
+    pub backend_index: usize,
+    /// Index into [`FleetJob::powers`].
+    pub power_index: usize,
+    /// Backend label.
+    pub backend: String,
+    /// Power-system label.
+    pub power: String,
+    /// One entry per job input, in input order.
+    pub runs: Vec<FleetRun>,
+}
+
+/// Distributional summary of one cell, for the Fig. 9-style population
+/// report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSummary {
+    /// Backend label.
+    pub backend: String,
+    /// Power-system label.
+    pub power: String,
+    /// Total runs.
+    pub runs: usize,
+    /// Runs that completed ("does not complete" excluded).
+    pub completed: usize,
+    /// Fraction of runs that completed.
+    pub completion_rate: f64,
+    /// Correct predictions over *labeled* runs (DNC counts as wrong), or
+    /// `None` when no input carried a label.
+    pub accuracy: Option<f64>,
+    /// Mean / p50 / p95 total wall-clock seconds (live + dead) over
+    /// completed runs; `None` when nothing completed.
+    pub total_secs: Option<Stats>,
+    /// Mean / p50 / p95 energy in millijoules over completed runs.
+    pub energy_mj: Option<Stats>,
+    /// Mean / p50 / p95 reboots over completed runs.
+    pub reboots: Option<Stats>,
+}
+
+/// Mean and percentiles of one per-run metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+/// Nearest-rank percentile of an unsorted sample; `None` when empty.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN metric"));
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    Some(v[rank.clamp(1, v.len()) - 1])
+}
+
+fn stats(values: &[f64]) -> Option<Stats> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(Stats {
+        mean: values.iter().sum::<f64>() / values.len() as f64,
+        p50: percentile(values, 50.0).expect("non-empty"),
+        p95: percentile(values, 95.0).expect("non-empty"),
+    })
+}
+
+impl FleetCell {
+    /// Summarizes this cell's run population.
+    pub fn summarize(&self, spec: &DeviceSpec) -> CellSummary {
+        let completed: Vec<&FleetRun> = self.runs.iter().filter(|r| r.outcome.completed).collect();
+        let labeled = self.runs.iter().filter(|r| r.correct.is_some()).count();
+        let right = self
+            .runs
+            .iter()
+            .filter(|r| r.correct == Some(true) && r.outcome.completed)
+            .count();
+        let metric =
+            |f: &dyn Fn(&FleetRun) -> f64| -> Vec<f64> { completed.iter().map(|r| f(r)).collect() };
+        CellSummary {
+            backend: self.backend.clone(),
+            power: self.power.clone(),
+            runs: self.runs.len(),
+            completed: completed.len(),
+            completion_rate: if self.runs.is_empty() {
+                0.0
+            } else {
+                completed.len() as f64 / self.runs.len() as f64
+            },
+            accuracy: (labeled > 0).then(|| right as f64 / labeled as f64),
+            total_secs: stats(&metric(&|r| r.outcome.total_secs(spec))),
+            energy_mj: stats(&metric(&|r| r.outcome.energy_mj())),
+            reboots: stats(&metric(&|r| r.outcome.trace.reboots as f64)),
+        }
+    }
+
+    /// An order-sensitive FNV-1a digest over every bit-relevant per-run
+    /// field. Two fleets with equal digests produced identical outputs,
+    /// traces, and timings — the test suite's determinism anchor.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut put = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        put(self.backend_index as u64);
+        put(self.power_index as u64);
+        for r in &self.runs {
+            put(r.input_index as u64);
+            put(r.outcome.completed as u64);
+            put(r.outcome.class.map(|c| c as u64 + 1).unwrap_or(0));
+            for q in &r.outcome.output {
+                put(q.raw() as u16 as u64);
+            }
+            put(r.outcome.trace.live_cycles);
+            put(r.outcome.trace.dead_secs.to_bits());
+            put(r.outcome.trace.total_energy_pj);
+            put(r.outcome.trace.reboots);
+        }
+        h
+    }
+}
+
+/// Digest of a whole fleet (cells in submission order).
+pub fn fleet_digest(cells: &[FleetCell]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in cells {
+        for b in c.digest().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs every input of one (backend, power) cell over a single
+/// deployment.
+fn run_cell(job: &FleetJob<'_>, power_index: usize, backend_index: usize) -> FleetCell {
+    let power = job.powers[power_index].clone();
+    let backend = &job.backends[backend_index];
+    let mut dev = Device::new(job.spec.clone(), power.clone());
+    let dm = deploy(&mut dev, job.qmodel).expect("model must fit in FRAM");
+    let mut runs = Vec::with_capacity(job.inputs.len());
+    let mut supply_dead = false;
+    for (i, inp) in job.inputs.iter().enumerate() {
+        // Recover from a previous DNC: bring the device back up (dead
+        // time between runs lands outside any epoch) and host-reset the
+        // control words the aborted run left mid-flight.
+        if !dev.is_on() && dev.reboot().is_err() {
+            supply_dead = true;
+        }
+        if supply_dead {
+            // The harvest profile will never power the device again:
+            // every remaining input is an immediate DNC.
+            dev.begin_epoch();
+            runs.push(FleetRun {
+                input_index: i,
+                correct: inp.label.map(|_| false),
+                outcome: InferenceOutcome {
+                    backend: backend.label(),
+                    power: power.label(),
+                    completed: false,
+                    output: Vec::new(),
+                    class: None,
+                    trace: dev.epoch_report(),
+                    stats: None,
+                    error: Some(mcu::SupplyDead.to_string()),
+                },
+            });
+            continue;
+        }
+        dm.load_input(&mut dev, &inp.input);
+        let outcome = run_deployed(&mut dev, &dm, backend);
+        if !outcome.completed {
+            reset_control_words(&mut dev, &dm);
+        }
+        let correct = match (inp.label, outcome.class, outcome.completed) {
+            (Some(l), Some(c), true) => Some(c == l),
+            (Some(_), _, _) => Some(false),
+            (None, _, _) => None,
+        };
+        runs.push(FleetRun {
+            input_index: i,
+            correct,
+            outcome,
+        });
+    }
+    FleetCell {
+        backend_index,
+        power_index,
+        backend: backend.label(),
+        power: power.label(),
+        runs,
+    }
+}
+
+fn cell_order(job: &FleetJob<'_>) -> Vec<(usize, usize)> {
+    let mut cells = Vec::with_capacity(job.powers.len() * job.backends.len());
+    for pi in 0..job.powers.len() {
+        for bi in 0..job.backends.len() {
+            cells.push((pi, bi));
+        }
+    }
+    cells
+}
+
+/// Runs the fleet, fanning cells across threads when the `parallel`
+/// feature is enabled. Cells come back in deterministic `(power,
+/// backend)` submission order and the results are bit-identical with the
+/// feature on or off.
+pub fn run_fleet(job: &FleetJob<'_>) -> Vec<FleetCell> {
+    par_map(cell_order(job), &|(pi, bi)| run_cell(job, pi, bi))
+}
+
+/// The always-serial fleet: same results as [`run_fleet`], one cell at a
+/// time. Exists so the determinism guarantee is testable inside a single
+/// (parallel-enabled) build.
+pub fn run_fleet_serial(job: &FleetJob<'_>) -> Vec<FleetCell> {
+    cell_order(job)
+        .into_iter()
+        .map(|(pi, bi)| run_cell(job, pi, bi))
+        .collect()
+}
+
+/// Ordered parallel map over fleet cells (the `genesis::parallel`
+/// work-queue pattern: LIFO execution, indexed collect).
+#[cfg(feature = "parallel")]
+fn par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                let Some((i, item)) = job else { break };
+                let r = f(item);
+                results.lock().expect("results poisoned").push((i, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("results poisoned");
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Serial fallback with the identical signature and result order.
+#[cfg(not(feature = "parallel"))]
+fn par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    items.into_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::tests_support::tiny_pruned_qmodel;
+    use mcu::HarvestProfile;
+
+    fn tiny_job<'a>(qm: &'a QModel, input: &[Q15], n_inputs: usize) -> FleetJob<'a> {
+        FleetJob {
+            qmodel: qm,
+            spec: DeviceSpec::msp430fr5994(),
+            inputs: (0..n_inputs)
+                .map(|i| FleetInput {
+                    input: input.to_vec(),
+                    label: Some(i % 2),
+                })
+                .collect(),
+            // TAILS and Tiled allocate per-run runtime state (SRAM
+            // staging, Alpaca log): including them pins the allocator
+            // rewind on reused deployments.
+            backends: vec![
+                Backend::Sonic,
+                Backend::Tails(crate::exec::TailsConfig::default()),
+                Backend::Tiled(8),
+            ],
+            powers: vec![PowerSystem::continuous(), PowerSystem::cap_100uf()],
+        }
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_serial_vs_parallel() {
+        let (qm, input) = tiny_pruned_qmodel();
+        let job = tiny_job(&qm, &input, 3);
+        let par = run_fleet(&job);
+        let ser = run_fleet_serial(&job);
+        assert_eq!(par.len(), ser.len());
+        assert_eq!(fleet_digest(&par), fleet_digest(&ser));
+        for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.backend, b.backend);
+            assert_eq!(a.power, b.power);
+            assert_eq!(a.digest(), b.digest());
+        }
+    }
+
+    #[test]
+    fn fleet_is_identical_across_repeated_runs() {
+        let (qm, input) = tiny_pruned_qmodel();
+        let job = tiny_job(&qm, &input, 2);
+        assert_eq!(
+            fleet_digest(&run_fleet(&job)),
+            fleet_digest(&run_fleet(&job))
+        );
+    }
+
+    #[test]
+    fn cells_come_back_in_power_major_submission_order() {
+        let (qm, input) = tiny_pruned_qmodel();
+        let job = tiny_job(&qm, &input, 1);
+        let cells = run_fleet(&job);
+        let order: Vec<(usize, usize)> = cells
+            .iter()
+            .map(|c| (c.power_index, c.backend_index))
+            .collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn per_run_traces_do_not_accumulate_across_the_fleet() {
+        let (qm, input) = tiny_pruned_qmodel();
+        let job = tiny_job(&qm, &input, 3);
+        let cells = run_fleet(&job);
+        // Identical inputs on continuous power: every run of a cell must
+        // report the same energy — the cumulative-trace bug would make
+        // run k report k times run 1.
+        let cont_sonic = &cells[0];
+        assert_eq!(cont_sonic.power, "Cont");
+        let e0 = cont_sonic.runs[0].outcome.trace.total_energy_pj;
+        for r in &cont_sonic.runs {
+            assert!(r.outcome.completed);
+            assert_eq!(r.outcome.trace.total_energy_pj, e0);
+        }
+    }
+
+    #[test]
+    fn summary_reports_population_statistics() {
+        let (qm, input) = tiny_pruned_qmodel();
+        let job = tiny_job(&qm, &input, 4);
+        let cells = run_fleet(&job);
+        let spec = DeviceSpec::msp430fr5994();
+        let s = cells[0].summarize(&spec);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.completed, 4);
+        assert!((s.completion_rate - 1.0).abs() < 1e-12);
+        // Labels alternate 0/1 but the input is constant, so accuracy is
+        // determined and between 0 and 1.
+        let acc = s.accuracy.expect("labeled runs");
+        assert!((0.0..=1.0).contains(&acc));
+        let t = s.total_secs.expect("completed runs");
+        assert!(t.mean > 0.0 && t.p50 > 0.0 && t.p95 >= t.p50);
+        // Identical runs: the distribution is a point mass.
+        assert_eq!(t.p50, t.p95);
+    }
+
+    #[test]
+    fn dead_supply_cell_marks_every_run_dnc() {
+        let (qm, input) = tiny_pruned_qmodel();
+        let mut job = tiny_job(&qm, &input, 3);
+        // Small enough that one inference outlives the buffer (cf. the
+        // 8 µF intermittence tests in `exec`), so run 1 browns out and
+        // the dead profile can never bring the device back.
+        job.powers = vec![PowerSystem::harvested_with(
+            8e-6,
+            HarvestProfile::Constant(0.0),
+        )];
+        job.backends = vec![Backend::Sonic];
+        let cells = run_fleet(&job);
+        assert_eq!(cells.len(), 1);
+        let s = cells[0].summarize(&DeviceSpec::msp430fr5994());
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.accuracy, Some(0.0), "DNC counts as wrong");
+        assert!(s.total_secs.is_none());
+        for r in &cells[0].runs {
+            assert!(!r.outcome.completed);
+            assert!(r.outcome.trace.dead_secs.is_finite());
+            let err = r.outcome.error.as_deref().unwrap_or("");
+            assert!(
+                err.contains("never recharges") || err.contains("supply dead"),
+                "unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&v, 95.0), Some(4.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 50.0), Some(7.0));
+    }
+}

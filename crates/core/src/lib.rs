@@ -27,7 +27,11 @@
 //!   filters, and a software fallback for sparse fully-connected layers
 //!   (§7).
 //! - [`exec`]: one entry point that runs any implementation on any power
-//!   system and returns the result plus the full energy/time trace.
+//!   system and returns the result plus the per-run energy/time trace.
+//! - [`fleet`]: the population-scale harness — many test-set inputs ×
+//!   backends × power systems over reusable deployments, fanned across
+//!   threads with deterministic, bit-identical results, summarized as
+//!   accuracy / completion-rate / latency percentiles per cell.
 //!
 //! All implementations compute the same quantized network; each one's
 //! intermittent execution is bit-identical to its own continuous-power
@@ -40,9 +44,11 @@
 pub mod baseline;
 pub mod deploy;
 pub mod exec;
+pub mod fleet;
 pub mod sonic;
 pub mod tails;
 pub mod tiled;
 
 pub use deploy::{deploy, DeployedModel};
 pub use exec::{run_inference, Backend, InferenceOutcome, TailsConfig};
+pub use fleet::{run_fleet, CellSummary, FleetCell, FleetInput, FleetJob, FleetRun};

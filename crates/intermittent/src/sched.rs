@@ -101,6 +101,12 @@ pub enum RunError {
         /// The configured limit.
         limit: u64,
     },
+    /// The harvest profile can never refill the buffer (zero average
+    /// input power): the device died and will stay dead.
+    SupplyDead {
+        /// Name of the task that was running when the supply died.
+        task: String,
+    },
 }
 
 impl core::fmt::Display for RunError {
@@ -113,6 +119,10 @@ impl core::fmt::Display for RunError {
             RunError::TransitionLimit { limit } => {
                 write!(f, "exceeded {limit} task transitions")
             }
+            RunError::SupplyDead { task } => write!(
+                f,
+                "supply dead: task `{task}` lost power and the harvest profile never recharges"
+            ),
         }
     }
 }
@@ -257,7 +267,11 @@ fn handle_failure<C: RuntimeCtx>(
         });
     }
 
-    dev.reboot();
+    if dev.reboot().is_err() {
+        return Err(RunError::SupplyDead {
+            task: graph.name(failed_task).to_string(),
+        });
+    }
     ctx.on_power_failure(dev, mid_commit);
 
     match cfg.restart {
@@ -424,6 +438,32 @@ mod tests {
             dev.peek_word(scratch) >= 2,
             "entry task should have re-run under FromEntry"
         );
+    }
+
+    #[test]
+    fn dead_supply_reported_not_looped() {
+        // A fully occluded harvest profile: the first charge runs, the
+        // first recharge is impossible, and the scheduler must report it
+        // (finite dead time, no infinite retry loop).
+        let mut dev = Device::new(
+            DeviceSpec::tiny(),
+            PowerSystem::harvested_with(100e-6, mcu::HarvestProfile::Constant(0.0)),
+        );
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        let buffer = dev.power().buffer_energy_pj().unwrap();
+        let per_op = dev.spec().costs.cost(Op::FxpMul).energy_pj;
+        let ops = buffer / per_op + 10;
+        g.add("solar-eclipse", move |dev, _| {
+            dev.consume_n(Op::FxpMul, ops)?;
+            Ok(Transition::Done)
+        });
+        let err = run(&mut g, &mut (), &mut dev, 0, &SchedulerConfig::task_based()).unwrap_err();
+        match err {
+            RunError::SupplyDead { task } => assert_eq!(task, "solar-eclipse"),
+            other => panic!("expected supply-dead, got {other:?}"),
+        }
+        assert!(dev.trace().dead_secs().is_finite());
+        assert!(!dev.is_on());
     }
 
     #[test]

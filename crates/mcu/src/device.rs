@@ -22,7 +22,7 @@
 
 use crate::power::PowerSystem;
 use crate::spec::{DeviceSpec, Op};
-use crate::trace::{Phase, RegionId, Trace};
+use crate::trace::{Phase, RegionId, Trace, TraceReport};
 use core::fmt;
 use fxp::{Accum, Q15};
 
@@ -41,6 +41,22 @@ impl fmt::Display for PowerFailure {
 }
 
 impl std::error::Error for PowerFailure {}
+
+/// The harvest profile can never refill the buffer (zero average input
+/// power — e.g. a fully occluded trace): the device is permanently dead.
+///
+/// Returned by [`Device::reboot`] instead of silently accruing infinite
+/// dead time; schedulers report it as non-termination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupplyDead;
+
+impl fmt::Display for SupplyDead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("supply dead: harvest profile never recharges the buffer")
+    }
+}
+
+impl std::error::Error for SupplyDead {}
 
 /// Memory allocation failed: the arena is out of words.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -223,8 +239,8 @@ impl Device {
     }
 
     /// The power system the device runs on.
-    pub fn power(&self) -> PowerSystem {
-        self.power
+    pub fn power(&self) -> &PowerSystem {
+        &self.power
     }
 
     /// Remaining buffer charge in picojoules (meaningless on continuous
@@ -241,6 +257,28 @@ impl Device {
     /// The execution trace accumulated so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Total wall-clock seconds the device has existed: live execution at
+    /// the device clock plus dead (recharging) time. This is the absolute
+    /// time axis that time-varying harvest profiles are sampled on.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.spec.cycles_to_secs(self.trace.live_cycles()) + self.trace.dead_secs()
+    }
+
+    /// Starts a new trace epoch: [`Device::epoch_report`] will cover only
+    /// work done after this call. Use one epoch per inference to get
+    /// per-run numbers from a long-lived deployment instead of
+    /// device-lifetime accumulation.
+    pub fn begin_epoch(&mut self) {
+        self.trace.begin_epoch();
+    }
+
+    /// Summary of the current trace epoch (delta since the last
+    /// [`Device::begin_epoch`]; the full lifetime when no epoch was
+    /// started).
+    pub fn epoch_report(&self) -> TraceReport {
+        self.trace.epoch_report()
     }
 
     /// Registers an accounting region (e.g. a layer name).
@@ -281,6 +319,12 @@ impl Device {
     /// Consumes `n` operations of the same class, stopping at the first one
     /// the buffer cannot cover.
     ///
+    /// A zero-energy operation can never brown the device out: all `n`
+    /// execute "for free" regardless of remaining charge. That is only a
+    /// sound spec when the operation also costs zero cycles (otherwise a
+    /// finite buffer would fund unbounded live time), which a debug
+    /// assertion enforces.
+    ///
     /// # Errors
     ///
     /// Returns [`PowerFailure`] if fewer than `n` operations fit in the
@@ -291,14 +335,23 @@ impl Device {
             return Err(PowerFailure);
         }
         let cost = self.spec.costs.cost(op);
-        match self.power {
+        match &self.power {
             PowerSystem::Continuous => {
                 self.trace.charge(self.region, self.phase, op, n, cost);
                 Ok(())
             }
             PowerSystem::Harvested(_) => {
                 let per = cost.energy_pj;
-                let fit = self.charge_pj.checked_div(per).unwrap_or(n).min(n);
+                debug_assert!(
+                    per > 0 || cost.cycles == 0,
+                    "op {op:?} costs {} cycles but zero energy: a zero-energy op \
+                     executes for free on harvested power, so it must also be \
+                     zero-cycle (fix the cost table)",
+                    cost.cycles
+                );
+                // `checked_div` returns `None` exactly when `per == 0`:
+                // the documented free-execution path.
+                let fit = self.charge_pj.checked_div(per).map_or(n, |q| q.min(n));
                 if fit > 0 {
                     self.trace.charge(self.region, self.phase, op, fit, cost);
                     self.charge_pj -= fit * per;
@@ -317,18 +370,30 @@ impl Device {
     }
 
     /// Recharges the buffer and reboots the device after a power failure:
-    /// dead time accrues at the harvester's input power, SRAM is cleared to
-    /// [`SRAM_GARBAGE`], FRAM persists, and the boot overhead is charged.
+    /// dead time accrues while the harvest profile — integrated from the
+    /// device's current absolute time — refills the deficit, SRAM is
+    /// cleared to [`SRAM_GARBAGE`], FRAM persists, and the boot overhead
+    /// is charged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupplyDead`] when the harvest profile can never refill
+    /// the buffer (zero average input power); the device stays off and no
+    /// dead time is accrued.
     ///
     /// # Panics
     ///
     /// Panics if the buffer is too small to even cover the boot sequence
     /// (a misconfigured power system, not a runtime condition).
-    pub fn reboot(&mut self) {
-        if let PowerSystem::Harvested(h) = self.power {
+    pub fn reboot(&mut self) -> Result<(), SupplyDead> {
+        if let PowerSystem::Harvested(h) = &self.power {
             let buffer = h.buffer_energy_pj();
             let deficit = buffer - self.charge_pj;
-            self.trace.add_dead_time(h.recharge_secs(deficit));
+            let t0 = self.elapsed_secs();
+            let Some(dead) = h.recharge_secs_at(t0, deficit) else {
+                return Err(SupplyDead);
+            };
+            self.trace.add_dead_time(dead);
             self.charge_pj = buffer;
         }
         self.on = true;
@@ -338,6 +403,7 @@ impl Device {
         }
         self.consume(Op::Boot)
             .expect("power buffer smaller than boot overhead");
+        Ok(())
     }
 
     // ----- allocation ------------------------------------------------
@@ -404,6 +470,32 @@ impl Device {
     pub fn sram_alloc_word(&mut self) -> Result<SramWord, AllocError> {
         let buf = self.sram_alloc(1)?;
         Ok(SramWord { addr: buf.base })
+    }
+
+    /// The current (FRAM, SRAM) allocation watermarks — a link-time
+    /// concept, like recording the data-segment break.
+    pub fn alloc_watermarks(&self) -> (u32, u32) {
+        (self.fram_brk, self.sram_brk)
+    }
+
+    /// Rewinds both allocators to watermarks previously returned by
+    /// [`Device::alloc_watermarks`], releasing everything allocated since.
+    ///
+    /// Runtimes allocate per-run working state (TAILS's SRAM staging
+    /// buffers, the Alpaca redo log) when they are built; on a long-lived
+    /// deployment each inference rebuilds its runtime, so the harness
+    /// rewinds between runs — every run then links against the identical
+    /// layout instead of leaking the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a watermark lies beyond the current break.
+    pub fn rewind_allocs(&mut self, marks: (u32, u32)) {
+        let (fram, sram) = marks;
+        assert!(fram <= self.fram_brk, "FRAM watermark in the future");
+        assert!(sram <= self.sram_brk, "SRAM watermark in the future");
+        self.fram_brk = fram;
+        self.sram_brk = sram;
     }
 
     /// Words of SRAM still unallocated.
@@ -739,7 +831,7 @@ mod tests {
         // Drain the buffer.
         while d.consume(Op::FxpMul).is_ok() {}
         assert!(!d.is_on());
-        d.reboot();
+        d.reboot().unwrap();
         assert!(d.is_on());
         assert_eq!(d.peek(f)[0], Q15::HALF, "FRAM must persist");
         assert_eq!(
@@ -961,5 +1053,104 @@ mod tests {
         let mut d = continuous();
         d.mark_progress();
         assert_eq!(d.trace().progress_marks(), 1);
+    }
+
+    #[test]
+    fn zero_energy_zero_cycle_ops_execute_for_free_on_harvested_power() {
+        // Pins the documented semantics of the `per == 0` path: a
+        // zero-energy (and zero-cycle) op never browns the device out and
+        // consumes no charge, however many are batched.
+        let mut spec = DeviceSpec::tiny();
+        spec.costs.set_cost(Op::Nop, crate::spec::Cost::new(0, 0));
+        let mut d = Device::new(spec, PowerSystem::cap_100uf());
+        let before = d.charge_pj();
+        d.consume_n(Op::Nop, 1_000_000).unwrap();
+        assert_eq!(d.charge_pj(), before, "free ops must not drain charge");
+        assert_eq!(d.trace().op_count(Op::Nop), 1_000_000);
+        assert_eq!(d.trace().live_cycles(), 0);
+        assert!(d.is_on());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero-energy op")]
+    fn zero_energy_op_with_cycles_is_a_spec_bug() {
+        let mut spec = DeviceSpec::tiny();
+        spec.costs.set_cost(Op::Nop, crate::spec::Cost::new(3, 0));
+        let mut d = Device::new(spec, PowerSystem::cap_100uf());
+        let _ = d.consume(Op::Nop);
+    }
+
+    #[test]
+    fn reboot_on_dead_supply_reports_instead_of_infinite_dead_time() {
+        let mut d = Device::new(
+            DeviceSpec::tiny(),
+            PowerSystem::harvested_with(100e-6, crate::power::HarvestProfile::Constant(0.0)),
+        );
+        // The first charge is free (device starts full), so it runs...
+        while d.consume(Op::FxpMul).is_ok() {}
+        assert!(!d.is_on());
+        // ...but can never recharge: reboot reports it, no inf anywhere.
+        assert_eq!(d.reboot(), Err(crate::device::SupplyDead));
+        assert!(!d.is_on(), "a failed reboot leaves the device off");
+        assert!(d.trace().dead_secs().is_finite());
+        assert_eq!(d.trace().reboots(), 0);
+    }
+
+    #[test]
+    fn recharge_integrates_time_varying_profile_from_current_time() {
+        // A trace that is occluded for its first 100 s, then delivers the
+        // paper's 150 µW for 10 s, repeating. The constant-profile
+        // recharge of a full 100 µF buffer at 150 µW takes well under a
+        // second, so the windows dwarf it.
+        let profile = crate::power::HarvestProfile::Piecewise(vec![(100.0, 0.0), (10.0, 150e-6)]);
+        let constant = crate::power::Harvester::constant(100e-6, 150e-6);
+        let full = constant.recharge_secs(constant.buffer_energy_pj()).unwrap();
+        assert!(full < 1.0);
+        // The constant-profile device still reproduces exactly that (the
+        // back-compat guarantee).
+        let mut c = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        while c.consume(Op::FxpMul).is_ok() {}
+        c.reboot().unwrap();
+        assert_eq!(c.trace().dead_secs(), full);
+
+        // First failure happens at t ≈ 0, mid-occlusion: the recharge must
+        // wait out the rest of the dark window before charging.
+        let mut d = Device::new(
+            DeviceSpec::tiny(),
+            PowerSystem::harvested_with(100e-6, profile),
+        );
+        while d.consume(Op::FxpMul).is_ok() {}
+        d.reboot().unwrap();
+        let first_dead = d.trace().dead_secs();
+        assert!(
+            first_dead > 99.0 && first_dead < 100.0 + full + 1e-6,
+            "mid-occlusion recharge must wait for light: {first_dead} s"
+        );
+        // The device is now just inside the lit window. A second failure
+        // recharges at full input power — same energy, far less dead time:
+        // the profile is integrated from the *current* time, not t=0.
+        while d.consume(Op::FxpMul).is_ok() {}
+        let before = d.trace().dead_secs();
+        d.reboot().unwrap();
+        let second_dead = d.trace().dead_secs() - before;
+        assert!(
+            (second_dead - full).abs() < 1e-6,
+            "lit-window recharge matches constant power: {second_dead} vs {full}"
+        );
+    }
+
+    #[test]
+    fn device_epochs_isolate_back_to_back_work() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(4).unwrap();
+        d.write(buf, 0, Q15::HALF).unwrap();
+        d.begin_epoch();
+        d.write(buf, 1, Q15::HALF).unwrap();
+        let e = d.epoch_report();
+        let w = d.spec().costs.cost(Op::FramWrite);
+        assert_eq!(e.total_energy_pj, w.energy_pj);
+        assert_eq!(e.live_cycles, w.cycles as u64);
+        assert_eq!(d.trace().report().total_energy_pj, 2 * w.energy_pj);
     }
 }

@@ -13,9 +13,12 @@
 //!   buffer; when the buffer empties the device browns out and all volatile
 //!   state is lost ([`Device::consume`], [`PowerFailure`]).
 //! - **A capacitor-based power system.** Usable buffer energy follows
-//!   `E = ½·C·(V_on² − V_off²)` and recharge time follows the harvester's
-//!   input power, producing the duty-cycled, intermittent execution the
-//!   paper studies ([`power`]).
+//!   `E = ½·C·(V_on² − V_off²)` and recharge time integrates the
+//!   harvester's input-power *profile* — constant (the paper's RF setup),
+//!   square-wave occlusion, or a cyclic recorded trace — from the
+//!   device's current absolute time, producing the duty-cycled,
+//!   intermittent execution the paper studies ([`power`],
+//!   [`HarvestProfile`]).
 //! - **The LEA vector accelerator and DMA engine**, including LEA's
 //!   restrictions that shape TAILS: it can only access SRAM, supports only
 //!   dense fixed-point operations, and has no vector left-shift
@@ -46,7 +49,9 @@ pub mod power;
 pub mod spec;
 pub mod trace;
 
-pub use device::{AllocError, Device, FramBuf, FramWord, NvAddr, PowerFailure, SramBuf, SramWord};
-pub use power::{Harvester, PowerSystem};
+pub use device::{
+    AllocError, Device, FramBuf, FramWord, NvAddr, PowerFailure, SramBuf, SramWord, SupplyDead,
+};
+pub use power::{HarvestProfile, Harvester, PowerSystem};
 pub use spec::{Cost, CostTable, DeviceSpec, Op};
 pub use trace::{OpStat, Phase, RegionId, Trace, TraceReport};

@@ -9,11 +9,18 @@
 //! E_buf = ½ · C · (V_on² − V_off²)
 //! ```
 //!
-//! and the recharge (dead) time for a drained buffer is `E_buf / P_harvest`.
+//! and the recharge (dead) time for a drained buffer is the time needed for
+//! the harvester's *input power profile* to deliver `E_buf`. The classic
+//! setup is a constant profile (the paper's Powercast RF harvester, 150 µW
+//! at 1 m from a 3 W transmitter), but real deployments see time-varying
+//! input — a person walking between the antenna and the device, clouds over
+//! a solar cell — which [`HarvestProfile`] models as a deterministic
+//! function of time. Recharge time then *integrates* the profile from the
+//! moment the device dies, so two power failures at different times can
+//! see very different dead times.
 //!
-//! The paper evaluates three capacitor sizes (100 µF, 1 mF, 50 mF) powered
-//! by a Powercast RF harvester one meter from a 3 W transmitter. The preset
-//! constructors here use an operating window calibrated so that the
+//! The paper evaluates three capacitor sizes (100 µF, 1 mF, 50 mF). The
+//! preset constructors here use an operating window calibrated so that the
 //! qualitative results of the paper hold (see DESIGN.md §4); the window is
 //! narrow because the boost regulator on such boards restarts the MCU well
 //! before the storage capacitor is empty.
@@ -30,8 +37,279 @@ pub const V_OFF: f64 = 2.04;
 /// (Powercast P2110B at 1 m from a 3 W transmitter).
 pub const RF_HARVEST_UW: f64 = 150.0;
 
-/// A harvesting front-end: capacitor bank plus input power.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Harvested input power as a deterministic function of time.
+///
+/// All variants are pure functions of the simulation clock, so runs are
+/// reproducible: the same workload on the same profile always observes the
+/// same dead times, regardless of host threading.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HarvestProfile {
+    /// Fixed input power in watts — the original model. Recharge math for
+    /// this variant is the exact expression used before profiles existed
+    /// (`energy / power`), so constant-profile runs reproduce historical
+    /// numbers bit for bit.
+    Constant(f64),
+    /// Square-wave occlusion: `high_w` watts for `duty · period_s`
+    /// seconds, then `low_w` for the rest of the period, repeating.
+    /// Models a transmitter that is periodically blocked (a person, a
+    /// rotating machine part).
+    Square {
+        /// Input power while unobstructed, in watts.
+        high_w: f64,
+        /// Input power while occluded, in watts (may be 0).
+        low_w: f64,
+        /// Full occlusion cycle length in seconds.
+        period_s: f64,
+        /// Fraction of the period spent at `high_w`, in `(0, 1]`.
+        duty: f64,
+    },
+    /// A piecewise-constant trace of `(duration_s, power_w)` segments,
+    /// repeated cyclically — the import format for recorded solar or RF
+    /// power traces.
+    Piecewise(Vec<(f64, f64)>),
+}
+
+impl HarvestProfile {
+    /// The paper's RF harvest setup: a constant 150 µW.
+    pub fn rf_paper() -> Self {
+        HarvestProfile::Constant(RF_HARVEST_UW * 1e-6)
+    }
+
+    /// A deterministic pseudo-random occlusion trace derived from `seed`.
+    ///
+    /// Generates `segments` spans covering roughly `period_s` seconds in
+    /// total; each span's duration varies around `period_s / segments` and
+    /// its power is `base_w` attenuated by a seeded factor (about a
+    /// quarter of the spans are fully occluded). The same seed always
+    /// yields the same trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero or `period_s` is not positive.
+    pub fn seeded_occlusion(base_w: f64, period_s: f64, segments: usize, seed: u64) -> Self {
+        assert!(segments > 0, "seeded_occlusion: zero segments");
+        assert!(period_s > 0.0, "seeded_occlusion: non-positive period");
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let unit = |s: &mut u64| (splitmix64(s) >> 11) as f64 / (1u64 << 53) as f64;
+        let mut segs = Vec::with_capacity(segments);
+        for _ in 0..segments {
+            let dur = period_s / segments as f64 * (0.5 + unit(&mut state));
+            let r = unit(&mut state);
+            // A quarter of the spans are fully occluded; the rest pass a
+            // uniform fraction of the base power.
+            let att = if r < 0.25 { 0.0 } else { (r - 0.25) / 0.75 };
+            segs.push((dur, base_w * att));
+        }
+        HarvestProfile::Piecewise(segs)
+    }
+
+    /// Validates the profile's parameters, panicking on a
+    /// misconfiguration (non-finite or negative powers, `duty` outside
+    /// `(0, 1]`, non-positive period, negative segment durations).
+    /// Called by [`crate::PowerSystem::harvested_with`] and the recharge
+    /// integrator, so a bad profile fails loudly instead of silently
+    /// corrupting dead-time accounting.
+    pub fn validate(&self) {
+        let ok_power = |p: f64| p.is_finite() && p >= 0.0;
+        match self {
+            HarvestProfile::Constant(p) => assert!(ok_power(*p), "invalid constant power {p}"),
+            HarvestProfile::Square {
+                high_w,
+                low_w,
+                period_s,
+                duty,
+            } => {
+                assert!(
+                    ok_power(*high_w) && ok_power(*low_w),
+                    "invalid square power"
+                );
+                assert!(
+                    period_s.is_finite() && *period_s > 0.0,
+                    "invalid square period {period_s}"
+                );
+                assert!(
+                    *duty > 0.0 && *duty <= 1.0,
+                    "square duty {duty} outside (0, 1]"
+                );
+            }
+            HarvestProfile::Piecewise(segs) => {
+                assert!(!segs.is_empty(), "empty piecewise trace");
+                for &(d, p) in segs {
+                    assert!(d.is_finite() && d >= 0.0, "invalid segment duration {d}");
+                    assert!(ok_power(p), "invalid segment power {p}");
+                }
+            }
+        }
+    }
+
+    /// Input power at absolute time `t` seconds, in watts.
+    pub fn power_at(&self, t: f64) -> f64 {
+        match self {
+            HarvestProfile::Constant(p) => *p,
+            HarvestProfile::Square {
+                high_w,
+                low_w,
+                period_s,
+                duty,
+            } => {
+                let phase = t.rem_euclid(*period_s);
+                if phase < duty * period_s {
+                    *high_w
+                } else {
+                    *low_w
+                }
+            }
+            HarvestProfile::Piecewise(segs) => {
+                let period: f64 = segs.iter().map(|(d, _)| d).sum();
+                if period <= 0.0 {
+                    return 0.0;
+                }
+                let mut phase = t.rem_euclid(period);
+                for &(d, p) in segs {
+                    if phase < d {
+                        return p;
+                    }
+                    phase -= d;
+                }
+                segs.last().map(|&(_, p)| p).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Mean input power over one period, in watts.
+    pub fn avg_power_w(&self) -> f64 {
+        match self {
+            HarvestProfile::Constant(p) => *p,
+            HarvestProfile::Square {
+                high_w,
+                low_w,
+                duty,
+                ..
+            } => high_w * duty + low_w * (1.0 - duty),
+            HarvestProfile::Piecewise(segs) => {
+                let period: f64 = segs.iter().map(|(d, _)| d).sum();
+                if period <= 0.0 {
+                    return 0.0;
+                }
+                segs.iter().map(|(d, p)| d * p).sum::<f64>() / period
+            }
+        }
+    }
+
+    /// The repeating cycle as `(period_secs, segments)`, or `None` for a
+    /// constant profile.
+    fn cycle(&self) -> Option<(f64, Vec<(f64, f64)>)> {
+        self.validate();
+        match self {
+            HarvestProfile::Constant(_) => None,
+            HarvestProfile::Square {
+                high_w,
+                low_w,
+                period_s,
+                duty,
+            } => {
+                let on = period_s * duty;
+                Some((*period_s, vec![(on, *high_w), (period_s - on, *low_w)]))
+            }
+            HarvestProfile::Piecewise(segs) => {
+                let period: f64 = segs.iter().map(|(d, _)| d).sum();
+                Some((period, segs.clone()))
+            }
+        }
+    }
+
+    /// Seconds needed, starting at absolute time `t0`, for the profile to
+    /// deliver `energy_j` joules. Returns `None` when the profile can
+    /// never deliver it (zero average power — e.g. a fully occluded
+    /// trace): the device is permanently dead, which callers must report
+    /// rather than accrue as infinite dead time.
+    pub fn time_to_harvest(&self, t0: f64, energy_j: f64) -> Option<f64> {
+        if energy_j <= 0.0 {
+            return Some(0.0);
+        }
+        match self {
+            // Exact historical expression: do not route through the
+            // generic integrator, so constant profiles stay bit-identical
+            // with pre-profile releases.
+            HarvestProfile::Constant(p) => {
+                if *p > 0.0 {
+                    Some(energy_j / p)
+                } else {
+                    None
+                }
+            }
+            _ => {
+                let (period, segs) = self.cycle().expect("non-constant profile has a cycle");
+                let e_period: f64 = segs.iter().map(|(d, p)| d * p).sum();
+                let usable = period.is_finite() && period > 0.0 && e_period > 0.0;
+                if !usable {
+                    return None;
+                }
+                let mut remaining = energy_j;
+                let mut elapsed = 0.0f64;
+                // Finish the partial period containing `t0`.
+                let phase = t0.rem_euclid(period);
+                let mut pos = 0.0f64;
+                for &(d, p) in &segs {
+                    let seg_end = pos + d;
+                    if seg_end > phase {
+                        let start = pos.max(phase);
+                        let span = seg_end - start;
+                        if p > 0.0 && p * span >= remaining {
+                            return Some(elapsed + remaining / p);
+                        }
+                        remaining -= p * span;
+                        elapsed += span;
+                    }
+                    pos = seg_end;
+                }
+                // Skip whole periods in O(1).
+                let full = (remaining / e_period).floor();
+                if full >= 1.0 {
+                    remaining -= full * e_period;
+                    elapsed += full * period;
+                }
+                // At most two more period walks absorb any floating-point
+                // residue.
+                for _ in 0..2 {
+                    for &(d, p) in &segs {
+                        if remaining <= 0.0 {
+                            return Some(elapsed);
+                        }
+                        if p > 0.0 && p * d >= remaining {
+                            return Some(elapsed + remaining / p);
+                        }
+                        remaining -= p * d;
+                        elapsed += d;
+                    }
+                }
+                Some(elapsed)
+            }
+        }
+    }
+
+    /// A short label suffix distinguishing non-constant profiles in
+    /// tables ("" / "~sq" / "~tr").
+    pub fn label_suffix(&self) -> &'static str {
+        match self {
+            HarvestProfile::Constant(_) => "",
+            HarvestProfile::Square { .. } => "~sq",
+            HarvestProfile::Piecewise(_) => "~tr",
+        }
+    }
+}
+
+/// A harvesting front-end: capacitor bank plus input power profile.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Harvester {
     /// Capacitance in farads.
     pub capacitance_f: f64,
@@ -39,25 +317,46 @@ pub struct Harvester {
     pub v_on: f64,
     /// Brown-out voltage in volts.
     pub v_off: f64,
-    /// Harvested input power in watts.
-    pub harvest_w: f64,
+    /// Harvested input power as a function of time.
+    pub profile: HarvestProfile,
 }
 
 impl Harvester {
+    /// A harvester with the calibrated operating window and a constant
+    /// input power in watts.
+    pub fn constant(capacitance_f: f64, harvest_w: f64) -> Self {
+        Harvester {
+            capacitance_f,
+            v_on: V_ON,
+            v_off: V_OFF,
+            profile: HarvestProfile::Constant(harvest_w),
+        }
+    }
+
     /// Usable energy per charge burst, in picojoules.
     pub fn buffer_energy_pj(&self) -> u64 {
         let joules = 0.5 * self.capacitance_f * (self.v_on * self.v_on - self.v_off * self.v_off);
         (joules * 1e12) as u64
     }
 
-    /// Seconds needed to harvest `energy_pj` picojoules.
-    pub fn recharge_secs(&self, energy_pj: u64) -> f64 {
-        energy_pj as f64 * 1e-12 / self.harvest_w
+    /// Seconds needed to harvest `energy_pj` picojoules starting from
+    /// time zero, or `None` when the profile never delivers it (zero
+    /// average power). Historically this returned `inf` for a dead
+    /// profile, silently producing infinite dead time downstream.
+    pub fn recharge_secs(&self, energy_pj: u64) -> Option<f64> {
+        self.recharge_secs_at(0.0, energy_pj)
+    }
+
+    /// Seconds needed to harvest `energy_pj` picojoules starting at
+    /// absolute device time `t0`, or `None` when the profile never
+    /// delivers it.
+    pub fn recharge_secs_at(&self, t0: f64, energy_pj: u64) -> Option<f64> {
+        self.profile.time_to_harvest(t0, energy_pj as f64 * 1e-12)
     }
 }
 
 /// The power system a [`crate::Device`] runs on.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PowerSystem {
     /// Continuous bench power: operations never fail.
     Continuous,
@@ -72,13 +371,24 @@ impl PowerSystem {
     }
 
     /// A capacitor-buffered RF-harvesting supply with the calibrated
-    /// operating window and the paper's harvest power.
+    /// operating window and the paper's constant harvest power.
     pub fn harvested(capacitance_f: f64) -> Self {
+        PowerSystem::Harvested(Harvester::constant(capacitance_f, RF_HARVEST_UW * 1e-6))
+    }
+
+    /// A capacitor-buffered supply with an arbitrary harvest profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is malformed (see
+    /// [`HarvestProfile::validate`]).
+    pub fn harvested_with(capacitance_f: f64, profile: HarvestProfile) -> Self {
+        profile.validate();
         PowerSystem::Harvested(Harvester {
             capacitance_f,
             v_on: V_ON,
             v_off: V_OFF,
-            harvest_w: RF_HARVEST_UW * 1e-6,
+            profile,
         })
     }
 
@@ -117,22 +427,32 @@ impl PowerSystem {
         }
     }
 
+    /// The harvest profile, or `None` when power is continuous.
+    pub fn profile(&self) -> Option<&HarvestProfile> {
+        match self {
+            PowerSystem::Continuous => None,
+            PowerSystem::Harvested(h) => Some(&h.profile),
+        }
+    }
+
     /// `true` when this is an intermittent (harvested) supply.
     pub fn is_intermittent(&self) -> bool {
         matches!(self, PowerSystem::Harvested(_))
     }
 
-    /// A short label for tables ("Cont", "100uF", "1mF", "50mF").
+    /// A short label for tables ("Cont", "100uF", "1mF", "50mF"; a
+    /// non-constant profile appends "~sq" / "~tr").
     pub fn label(&self) -> String {
         match self {
             PowerSystem::Continuous => "Cont".to_string(),
             PowerSystem::Harvested(h) => {
                 let c = h.capacitance_f;
-                if c >= 1e-3 {
+                let base = if c >= 1e-3 {
                     format!("{:.0}mF", c * 1e3)
                 } else {
                     format!("{:.0}uF", c * 1e6)
-                }
+                };
+                format!("{base}{}", h.profile.label_suffix())
             }
         }
     }
@@ -161,30 +481,105 @@ mod tests {
 
     #[test]
     fn buffer_formula_matches_hand_computation() {
-        let h = Harvester {
-            capacitance_f: 100e-6,
-            v_on: V_ON,
-            v_off: V_OFF,
-            harvest_w: 150e-6,
-        };
+        let h = Harvester::constant(100e-6, 150e-6);
         let expected = 0.5 * 100e-6 * (V_ON * V_ON - V_OFF * V_OFF) * 1e12;
         let got = h.buffer_energy_pj() as f64;
         assert!((got - expected).abs() / expected < 1e-9);
     }
 
     #[test]
-    fn recharge_time_is_energy_over_power() {
-        let h = Harvester {
+    fn recharge_time_is_energy_over_power_for_constant_profiles() {
+        let h = Harvester::constant(1e-3, 150e-6);
+        let e = h.buffer_energy_pj();
+        let t = h.recharge_secs(e).unwrap();
+        // Bit-identical to the historical expression — this is what keeps
+        // constant-profile runs reproducing pre-profile numbers exactly.
+        assert_eq!(t, e as f64 * 1e-12 / 150e-6);
+        // A 1 mF buffer at 150 µW should take on the order of seconds.
+        assert!(t > 0.01 && t < 100.0, "recharge {t} s");
+        // And it is time-invariant: starting later changes nothing.
+        assert_eq!(h.recharge_secs_at(123.456, e).unwrap(), t);
+    }
+
+    #[test]
+    fn zero_power_profile_reports_never_instead_of_inf() {
+        let h = Harvester::constant(1e-3, 0.0);
+        assert_eq!(h.recharge_secs(1000), None);
+        let occluded = Harvester {
             capacitance_f: 1e-3,
             v_on: V_ON,
             v_off: V_OFF,
-            harvest_w: 150e-6,
+            profile: HarvestProfile::Piecewise(vec![(1.0, 0.0), (2.0, 0.0)]),
         };
-        let e = h.buffer_energy_pj();
-        let t = h.recharge_secs(e);
-        assert!((t - e as f64 * 1e-12 / 150e-6).abs() < 1e-9);
-        // A 1 mF buffer at 150 µW should take on the order of seconds.
-        assert!(t > 0.01 && t < 100.0, "recharge {t} s");
+        assert_eq!(occluded.recharge_secs(1), None);
+        assert_eq!(occluded.recharge_secs_at(17.0, 1), None);
+        // Zero energy is always instantly available, even from a dead
+        // profile.
+        assert_eq!(h.recharge_secs(0), Some(0.0));
+    }
+
+    #[test]
+    fn square_wave_integrates_by_hand() {
+        // 100 µW for 2 s, 0 for 2 s, repeating.
+        let p = HarvestProfile::Square {
+            high_w: 100e-6,
+            low_w: 0.0,
+            period_s: 4.0,
+            duty: 0.5,
+        };
+        assert_eq!(p.power_at(0.5), 100e-6);
+        assert_eq!(p.power_at(3.0), 0.0);
+        assert_eq!(p.power_at(4.5), 100e-6);
+        assert!((p.avg_power_w() - 50e-6).abs() < 1e-12);
+        // 100 µJ needs exactly 1 s of high power, starting at t=0.
+        let t = p.time_to_harvest(0.0, 100e-6).unwrap();
+        assert!((t - 1.0).abs() < 1e-9, "t = {t}");
+        // Starting mid-occlusion (t=2): wait 2 s dead, then 1 s charging.
+        let t = p.time_to_harvest(2.0, 100e-6).unwrap();
+        assert!((t - 3.0).abs() < 1e-9, "t = {t}");
+        // 300 µJ from t=0: 2 s high (200 µJ), 2 s off, 1 s high.
+        let t = p.time_to_harvest(0.0, 300e-6).unwrap();
+        assert!((t - 5.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn piecewise_trace_integrates_across_many_periods() {
+        let p = HarvestProfile::Piecewise(vec![(1.0, 10e-6), (1.0, 30e-6)]);
+        assert!((p.avg_power_w() - 20e-6).abs() < 1e-12);
+        // 10 full periods (40 µJ each) plus half of the first segment.
+        let t = p.time_to_harvest(0.0, 405e-6).unwrap();
+        assert!((t - 20.5).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn seeded_occlusion_is_deterministic_per_seed() {
+        let a = HarvestProfile::seeded_occlusion(150e-6, 10.0, 8, 42);
+        let b = HarvestProfile::seeded_occlusion(150e-6, 10.0, 8, 42);
+        let c = HarvestProfile::seeded_occlusion(150e-6, 10.0, 8, 43);
+        assert_eq!(a, b, "same seed must reproduce the trace");
+        assert_ne!(a, c, "different seeds should differ");
+        // The trace's mean power never exceeds the unoccluded base.
+        assert!(a.avg_power_w() <= 150e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn square_duty_above_one_is_rejected() {
+        let _ = PowerSystem::harvested_with(
+            1e-3,
+            HarvestProfile::Square {
+                high_w: 150e-6,
+                low_w: 0.0,
+                period_s: 2.0,
+                duty: 1.5,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "segment duration")]
+    fn negative_piecewise_duration_is_rejected() {
+        HarvestProfile::Piecewise(vec![(1.0, 10e-6), (-0.5, 0.0)]).validate();
     }
 
     #[test]
@@ -192,6 +587,8 @@ mod tests {
         assert_eq!(PowerSystem::continuous().buffer_energy_pj(), None);
         assert!(!PowerSystem::continuous().is_intermittent());
         assert!(PowerSystem::cap_100uf().is_intermittent());
+        assert!(PowerSystem::continuous().profile().is_none());
+        assert!(PowerSystem::cap_100uf().profile().is_some());
     }
 
     #[test]
@@ -200,6 +597,19 @@ mod tests {
         assert_eq!(PowerSystem::cap_100uf().label(), "100uF");
         assert_eq!(PowerSystem::cap_1mf().label(), "1mF");
         assert_eq!(PowerSystem::cap_50mf().label(), "50mF");
+        let sq = PowerSystem::harvested_with(
+            1e-3,
+            HarvestProfile::Square {
+                high_w: 150e-6,
+                low_w: 0.0,
+                period_s: 2.0,
+                duty: 0.5,
+            },
+        );
+        assert_eq!(sq.label(), "1mF~sq");
+        let tr =
+            PowerSystem::harvested_with(1e-3, HarvestProfile::seeded_occlusion(1e-6, 1.0, 4, 1));
+        assert_eq!(tr.label(), "1mF~tr");
     }
 
     #[test]

@@ -90,6 +90,21 @@ impl OpStat {
 
 type PhaseStats = [[OpStat; Op::COUNT]; 2];
 
+/// Snapshot of the cumulative counters at [`Trace::begin_epoch`] time.
+/// Epoch reports subtract it from the current totals, yielding per-run
+/// deltas instead of device-lifetime accumulation.
+#[derive(Clone, Debug, Default)]
+struct EpochMark {
+    stats: Vec<PhaseStats>,
+    live_cycles: u64,
+    reboots: u64,
+    progress_marks: u64,
+    /// Dead time is re-accumulated per epoch rather than recovered by
+    /// subtracting cumulative `f64` sums, so identical runs report
+    /// bit-identical per-run dead seconds.
+    dead_secs: f64,
+}
+
 /// The execution trace: everything the "measurement MCU" observed.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
@@ -99,6 +114,7 @@ pub struct Trace {
     dead_secs: f64,
     reboots: u64,
     progress_marks: u64,
+    epoch: Option<EpochMark>,
 }
 
 impl Trace {
@@ -111,6 +127,7 @@ impl Trace {
             dead_secs: 0.0,
             reboots: 0,
             progress_marks: 0,
+            epoch: None,
         }
     }
 
@@ -138,6 +155,9 @@ impl Trace {
 
     pub(crate) fn add_dead_time(&mut self, secs: f64) {
         self.dead_secs += secs;
+        if let Some(mark) = &mut self.epoch {
+            mark.dead_secs += secs;
+        }
     }
 
     pub(crate) fn add_reboot(&mut self) {
@@ -283,6 +303,66 @@ impl Trace {
             total_energy_pj: self.total_energy_pj(),
         }
     }
+
+    // ----- epochs -----------------------------------------------------
+
+    /// Starts a new accounting epoch: [`Trace::epoch_report`] will report
+    /// only what happened *after* this call. Cumulative queries
+    /// ([`Trace::report`], [`Trace::live_cycles`], …) are unaffected —
+    /// they keep covering the device's whole lifetime, which is also what
+    /// recharge-time integration over a time-varying harvest profile
+    /// anchors to.
+    pub fn begin_epoch(&mut self) {
+        self.epoch = Some(EpochMark {
+            stats: self.stats.clone(),
+            live_cycles: self.live_cycles,
+            reboots: self.reboots,
+            progress_marks: self.progress_marks,
+            dead_secs: 0.0,
+        });
+    }
+
+    /// Summary of the current epoch only: the delta since the last
+    /// [`Trace::begin_epoch`]. Without an epoch mark this equals
+    /// [`Trace::report`], so fresh-device callers see identical numbers.
+    ///
+    /// Regions registered after the mark simply have an all-zero
+    /// baseline.
+    pub fn epoch_report(&self) -> TraceReport {
+        let Some(mark) = &self.epoch else {
+            return self.report();
+        };
+        let zero: PhaseStats = [[OpStat::default(); Op::COUNT]; 2];
+        let stats: Vec<PhaseStats> = self
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(r, cur)| {
+                let base = mark.stats.get(r).unwrap_or(&zero);
+                let mut d = zero;
+                for p in 0..2 {
+                    for o in 0..Op::COUNT {
+                        d[p][o] = OpStat {
+                            count: cur[p][o].count - base[p][o].count,
+                            cycles: cur[p][o].cycles - base[p][o].cycles,
+                            energy_pj: cur[p][o].energy_pj - base[p][o].energy_pj,
+                        };
+                    }
+                }
+                d
+            })
+            .collect();
+        let delta = Trace {
+            region_names: self.region_names.clone(),
+            stats,
+            live_cycles: self.live_cycles - mark.live_cycles,
+            dead_secs: mark.dead_secs,
+            reboots: self.reboots - mark.reboots,
+            progress_marks: self.progress_marks - mark.progress_marks,
+            epoch: None,
+        };
+        delta.report()
+    }
 }
 
 /// Per-region summary inside a [`TraceReport`].
@@ -399,6 +479,52 @@ mod tests {
         t.mark_progress();
         t.mark_progress();
         assert_eq!(t.progress_marks(), 2);
+    }
+
+    #[test]
+    fn epoch_report_is_a_delta_not_a_cumulative_view() {
+        let mut t = Trace::new();
+        let r = t.register_region("conv");
+        t.charge(r, Phase::Kernel, Op::FxpMul, 10, Cost::new(11, 825));
+        t.add_dead_time(1.0);
+        t.add_reboot();
+        t.begin_epoch();
+        t.charge(r, Phase::Kernel, Op::FxpMul, 3, Cost::new(11, 825));
+        t.add_dead_time(0.5);
+        let rep = t.epoch_report();
+        assert_eq!(rep.live_cycles, 33, "epoch must exclude pre-mark work");
+        assert_eq!(rep.total_energy_pj, 3 * 825);
+        assert!((rep.dead_secs - 0.5).abs() < 1e-12);
+        assert_eq!(rep.reboots, 0);
+        assert_eq!(rep.regions[1].kernel_cycles, 33);
+        // The cumulative view still covers the whole lifetime.
+        let full = t.report();
+        assert_eq!(full.live_cycles, 143);
+        assert_eq!(full.reboots, 1);
+    }
+
+    #[test]
+    fn epoch_report_without_mark_equals_full_report() {
+        let mut t = Trace::new();
+        let r = t.register_region("fc");
+        t.charge(r, Phase::Control, Op::FramWrite, 2, Cost::new(4, 700));
+        let a = t.report();
+        let b = t.epoch_report();
+        assert_eq!(a.live_cycles, b.live_cycles);
+        assert_eq!(a.total_energy_pj, b.total_energy_pj);
+        assert_eq!(a.regions.len(), b.regions.len());
+    }
+
+    #[test]
+    fn epoch_handles_regions_registered_after_the_mark() {
+        let mut t = Trace::new();
+        t.begin_epoch();
+        let late = t.register_region("late");
+        t.charge(late, Phase::Kernel, Op::Alu, 4, Cost::new(1, 75));
+        let rep = t.epoch_report();
+        assert_eq!(rep.regions.len(), 2);
+        assert_eq!(rep.regions[1].kernel_cycles, 4);
+        assert_eq!(rep.total_energy_pj, 300);
     }
 
     #[test]

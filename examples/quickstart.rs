@@ -37,7 +37,7 @@ fn main() {
         PowerSystem::cap_1mf(),
         PowerSystem::cap_100uf(),
     ] {
-        let out = run_inference(&qm, &input, &spec, power, &Backend::Sonic);
+        let out = run_inference(&qm, &input, &spec, power.clone(), &Backend::Sonic);
         println!(
             "{:>5}: class {:?} (truth {}), {} power failures, {:.3} mJ, {:.4} s total",
             power.label(),

@@ -8,7 +8,8 @@
 use sonic_tails::genesis::imp::{sweep_accuracy, E_INFER_NAIVE_MJ, E_INFER_TAILS_MJ, WILDLIFE};
 use sonic_tails::mcu::{DeviceSpec, PowerSystem};
 use sonic_tails::models::{trained, Network};
-use sonic_tails::sonic::exec::{run_inference, Backend};
+use sonic_tails::sonic::exec::Backend;
+use sonic_tails::sonic::fleet::{run_fleet, FleetInput, FleetJob};
 
 fn main() {
     println!(
@@ -38,16 +39,26 @@ fn main() {
     let net = trained(Network::Mnist);
     let spec = DeviceSpec::msp430fr5994();
     let interesting = net.network.interesting_class();
+    // One deployment, many frames — the fielded-camera pattern. Per-frame
+    // numbers come from trace epochs, so each frame reports its own time
+    // and reboots rather than camera-lifetime accumulation.
+    let frames = 5.min(net.test.len());
+    let job = FleetJob {
+        qmodel: &net.qmodel,
+        spec: spec.clone(),
+        inputs: (0..frames)
+            .map(|i| FleetInput {
+                input: net.qmodel.quantize_input(&net.test.input(i)),
+                label: Some(net.test.label(i)),
+            })
+            .collect(),
+        backends: vec![Backend::Sonic],
+        powers: vec![PowerSystem::cap_100uf()],
+    };
+    let cell = &run_fleet(&job)[0];
     let mut sent = 0;
-    for i in 0..5.min(net.test.len()) {
-        let input = net.qmodel.quantize_input(&net.test.input(i));
-        let out = run_inference(
-            &net.qmodel,
-            &input,
-            &spec,
-            PowerSystem::cap_100uf(),
-            &Backend::Sonic,
-        );
+    for (i, run) in cell.runs.iter().enumerate() {
+        let out = &run.outcome;
         let detected = out.class == Some(interesting);
         if detected {
             sent += 1;
@@ -60,5 +71,5 @@ fn main() {
             out.trace.reboots
         );
     }
-    println!("transmitted {sent} detection messages instead of 5 images");
+    println!("transmitted {sent} detection messages instead of {frames} images");
 }

@@ -1,0 +1,118 @@
+//! Fleet-engine integration tests: determinism, per-run trace epochs,
+//! and time-varying harvest power, end to end through the facade crate.
+
+use rand::SeedableRng;
+use sonic_tails::dnn::layers::Layer;
+use sonic_tails::dnn::model::Model;
+use sonic_tails::dnn::quant::{quantize, QModel};
+use sonic_tails::dnn::tensor::Tensor;
+use sonic_tails::mcu::{DeviceSpec, HarvestProfile, PowerSystem};
+use sonic_tails::sonic::exec::Backend;
+use sonic_tails::sonic::fleet::{fleet_digest, run_fleet, run_fleet_serial, FleetInput, FleetJob};
+
+fn tiny_model() -> (QModel, Vec<Vec<fxp::Q15>>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+    let mut model = Model::new(vec![
+        Layer::dense(24, 20, &mut rng),
+        Layer::relu(),
+        Layer::dense(20, 4, &mut rng),
+    ]);
+    let shape = [24usize];
+    let calib: Vec<Tensor> = (0..3)
+        .map(|_| Tensor::uniform(shape.to_vec(), 0.9, &mut rng))
+        .collect();
+    let qm = quantize(&mut model, &shape, &calib);
+    let inputs = (0..4)
+        .map(|_| qm.quantize_input(&Tensor::uniform(shape.to_vec(), 0.9, &mut rng)))
+        .collect();
+    (qm, inputs)
+}
+
+fn job<'a>(qm: &'a QModel, inputs: &[Vec<fxp::Q15>]) -> FleetJob<'a> {
+    FleetJob {
+        qmodel: qm,
+        spec: DeviceSpec::msp430fr5994(),
+        inputs: inputs
+            .iter()
+            .map(|i| FleetInput {
+                input: i.clone(),
+                label: Some(1),
+            })
+            .collect(),
+        backends: vec![Backend::Sonic, Backend::Tiled(8)],
+        powers: vec![
+            PowerSystem::continuous(),
+            PowerSystem::harvested(6e-6),
+            PowerSystem::harvested_with(
+                6e-6,
+                HarvestProfile::Square {
+                    high_w: 150e-6,
+                    low_w: 0.0,
+                    // Dark windows of 10 ms every 20 ms: recharges (~5 ms
+                    // each at this buffer) keep crossing occlusions.
+                    period_s: 0.02,
+                    duty: 0.5,
+                },
+            ),
+        ],
+    }
+}
+
+#[test]
+fn fleet_results_are_bit_identical_serial_vs_parallel_and_across_runs() {
+    let (qm, inputs) = tiny_model();
+    let j = job(&qm, &inputs);
+    let a = run_fleet(&j);
+    let b = run_fleet_serial(&j);
+    let c = run_fleet(&j);
+    assert_eq!(fleet_digest(&a), fleet_digest(&b), "parallel == serial");
+    assert_eq!(fleet_digest(&a), fleet_digest(&c), "repeatable");
+    // Every continuous-power run completed with a classification.
+    for cell in a.iter().filter(|c| c.power == "Cont") {
+        for run in &cell.runs {
+            assert!(run.outcome.completed);
+            assert!(run.outcome.class.is_some());
+        }
+    }
+}
+
+#[test]
+fn occluded_power_runs_complete_but_wait_out_the_dark_windows() {
+    let (qm, inputs) = tiny_model();
+    let j = job(&qm, &inputs);
+    let cells = run_fleet(&j);
+    let spec = DeviceSpec::msp430fr5994();
+    let constant = cells
+        .iter()
+        .find(|c| c.power == "6uF" && c.backend == "SONIC")
+        .expect("constant harvested cell");
+    let occluded = cells
+        .iter()
+        .find(|c| c.power == "6uF~sq" && c.backend == "SONIC")
+        .expect("occluded cell");
+    let sum = |cell: &sonic_tails::sonic::fleet::FleetCell| -> f64 {
+        cell.runs
+            .iter()
+            .filter(|r| r.outcome.completed)
+            .map(|r| r.outcome.trace.dead_secs)
+            .sum()
+    };
+    let (s_const, s_occ) = (sum(constant), sum(occluded));
+    assert!(
+        occluded.runs.iter().any(|r| r.outcome.completed),
+        "occluded cells must still make progress"
+    );
+    assert!(
+        s_occ > s_const,
+        "half-duty occlusion must add dead time: {s_occ} vs {s_const}"
+    );
+    // Identical compute either way: live time per completed run matches.
+    for (a, b) in constant.runs.iter().zip(&occluded.runs) {
+        if a.outcome.completed && b.outcome.completed {
+            assert_eq!(a.outcome.trace.live_cycles, b.outcome.trace.live_cycles);
+            assert_eq!(a.outcome.output, b.outcome.output);
+        }
+    }
+    let summary = occluded.summarize(&spec);
+    assert_eq!(summary.runs, 4);
+}
