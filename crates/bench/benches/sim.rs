@@ -1,0 +1,68 @@
+//! Simulator-throughput smoke: µs per simulated inference per backend.
+//!
+//! Measures end-to-end `run_inference` (deploy + schedule + metered
+//! execution) on the energy-metered device model for the four headline
+//! backends — the denominator of every fleet-scale experiment. The
+//! workload matches the `kernels` bench's backend section, so results are
+//! directly comparable with `BENCH_01.json`'s `simulator_backends_us`
+//! (scalar accounting) and `BENCH_03.json` (bundled accounting).
+//!
+//! `CRITERION_QUICK=1` shrinks the measurement budget for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn::layers::Layer;
+use dnn::model::Model;
+use dnn::quant::quantize;
+use dnn::tensor::Tensor;
+use mcu::{DeviceSpec, PowerSystem};
+use rand::SeedableRng;
+use sonic::exec::{run_inference, Backend, TailsConfig};
+
+fn tiny() -> (dnn::quant::QModel, Vec<fxp::Q15>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut m = Model::new(vec![
+        Layer::conv2d(4, 1, 3, 3, &mut rng),
+        Layer::relu(),
+        Layer::flatten(),
+        Layer::dense(4 * 10 * 10, 6, &mut rng),
+    ]);
+    let shape = [1usize, 12, 12];
+    let calib: Vec<Tensor> = (0..2)
+        .map(|_| Tensor::uniform(shape.to_vec(), 0.9, &mut rng))
+        .collect();
+    let qm = quantize(&mut m, &shape, &calib);
+    let x = Tensor::uniform(shape.to_vec(), 0.9, &mut rng);
+    let input = qm.quantize_input(&x);
+    (qm, input)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    println!("== simulator throughput: µs per simulated inference ==");
+    let (qm, input) = tiny();
+    let spec = DeviceSpec::msp430fr5994();
+    for b in [
+        Backend::Baseline,
+        Backend::Sonic,
+        Backend::Tiled(32),
+        Backend::Tails(TailsConfig::default()),
+    ] {
+        let id = format!("sim-{}", b.label());
+        c.bench_function(&id, |bench| {
+            bench.iter(|| {
+                std::hint::black_box(run_inference(
+                    &qm,
+                    &input,
+                    &spec,
+                    PowerSystem::continuous(),
+                    &b,
+                ))
+            })
+        });
+        if let Some(ns) = c.median_ns(&id) {
+            println!("    {}: {:.2} us/inference", b.label(), ns / 1e3);
+        }
+    }
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

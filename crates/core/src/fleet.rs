@@ -392,6 +392,26 @@ mod tests {
         }
     }
 
+    /// Absolute digest of the `tiny_job` fleet, recorded when the bundled
+    /// op-accounting fast path was verified bit-identical to the original
+    /// scalar (one-consume-per-op) path: any accounting drift anywhere in
+    /// the stack moves it. Regenerate after an *intentional* accounting
+    /// change with
+    /// `GOLDEN_PRINT=1 cargo test -p sonic fleet_digest_is_pinned -- --nocapture`.
+    const PINNED_DIGEST: u64 = 0x5c64888e938b4964;
+
+    #[test]
+    fn fleet_digest_is_pinned() {
+        let (qm, input) = tiny_pruned_qmodel();
+        let job = tiny_job(&qm, &input, 2);
+        let d = fleet_digest(&run_fleet(&job));
+        if std::env::var("GOLDEN_PRINT").is_ok() {
+            println!("    pinned fleet digest: {d:#018x}");
+            return;
+        }
+        assert_eq!(d, PINNED_DIGEST, "fleet accounting drifted");
+    }
+
     #[test]
     fn fleet_is_identical_across_repeated_runs() {
         let (qm, input) = tiny_pruned_qmodel();

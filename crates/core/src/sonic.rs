@@ -29,13 +29,24 @@
 //! word — FRAM's word-write atomicity then makes every state transition
 //! atomic. All other layer-level restarts are idempotent because a layer
 //! is a deterministic function of its (unmodified) input buffer.
+//!
+//! # Bundled accounting
+//!
+//! Every inner loop charges the simulated device per loop body
+//! ([`mcu::OpBundle`] + [`Device::consume_bundle`]) instead of per op:
+//! the funded iterations run through pre-charged accessors (identical
+//! arithmetic, identical FRAM effects), and the first unfunded iteration
+//! replays through the original scalar sequence so a brown-out lands on
+//! exactly the same op with exactly the same partial memory effects. The
+//! root `bundles` test suite pins bit-identical traces and outputs
+//! against digests recorded from the scalar implementation.
 
 use crate::baseline::{charge_finish, unpack_tap};
 use crate::deploy::{DeployedKind, DeployedLayer, DeployedModel, UNDO_EMPTY};
 use dnn::quant::finish_acc;
 use fxp::{Accum, Q15};
 use intermittent::task::{TaskGraph, Transition};
-use mcu::{Device, FramBuf, Op, Phase, PowerFailure};
+use mcu::{Device, FramBuf, Op, OpBundle, Phase, PowerFailure};
 
 /// Reads a control word (loop continuation state) with control-phase
 /// accounting.
@@ -59,6 +70,190 @@ fn store_ctl(
 ) -> Result<(), PowerFailure> {
     dev.set_context(region, Phase::Control);
     dev.store_word(w, v)
+}
+
+/// The per-iteration loop-continuation epilogue shared by every SONIC
+/// loop: the control-phase index write plus increment and back-branch.
+fn push_continuation(b: &mut OpBundle) {
+    b.push(Op::FramWrite, Phase::Control);
+    b.push(Op::Incr, Phase::Kernel);
+    b.push(Op::Branch, Phase::Kernel);
+}
+
+// ----- precomputed iteration bundles --------------------------------
+//
+// Bundles depend only on layer geometry and loop variant, so they are
+// built once at graph-build time and captured by the task closures —
+// task entries (SONIC enters a task once per filter element) reuse them
+// instead of reallocating.
+
+/// One loop-ordered MAC iteration (conv tap pass and dense input pass
+/// share the exact op sequence): address ALU, operand read, multiply,
+/// previous-partial add+read on non-first passes, partial write,
+/// loop continuation.
+fn mac_iter_bundle(first: bool) -> OpBundle {
+    let mut b = OpBundle::new();
+    b.push(Op::Alu, Phase::Kernel);
+    b.push(Op::FramRead, Phase::Kernel);
+    b.push(Op::FxpMul, Phase::Kernel);
+    if !first {
+        b.push(Op::FxpAdd, Phase::Kernel);
+        b.push(Op::FramRead, Phase::Kernel);
+    }
+    b.push(Op::FramWrite, Phase::Kernel);
+    push_continuation(&mut b);
+    b
+}
+
+/// One finishing-pass iteration: optional partial read, optional
+/// per-element bias read, shift+bias arithmetic, output write,
+/// loop continuation.
+pub(crate) fn finish_bundle(with_partial: bool, with_bias: bool) -> OpBundle {
+    let mut b = OpBundle::new();
+    if with_partial {
+        b.push(Op::FramRead, Phase::Kernel);
+    }
+    if with_bias {
+        b.push(Op::FramRead, Phase::Kernel);
+    }
+    b.push(Op::Alu, Phase::Kernel); // charge_finish: shift
+    b.push(Op::FxpAdd, Phase::Kernel); // charge_finish: bias add
+    b.push(Op::FramWrite, Phase::Kernel);
+    push_continuation(&mut b);
+    b
+}
+
+/// One max-pool output: window scan plus result write.
+pub(crate) fn pool_iter_bundle(kh: u32, kw: u32) -> OpBundle {
+    let mut b = OpBundle::new();
+    for _ in 0..kh * kw {
+        b.push(Op::Alu, Phase::Kernel);
+        b.push(Op::FramRead, Phase::Kernel);
+        b.push(Op::Branch, Phase::Kernel);
+    }
+    b.push(Op::FramWrite, Phase::Kernel);
+    push_continuation(&mut b);
+    b
+}
+
+/// One in-place ReLU element.
+pub(crate) fn relu_iter_bundle() -> OpBundle {
+    let mut b = OpBundle::new();
+    b.push(Op::FramRead, Phase::Kernel);
+    b.push(Op::Branch, Phase::Kernel);
+    b.push(Op::FramWrite, Phase::Kernel);
+    push_continuation(&mut b);
+    b
+}
+
+/// Conv-layer task bundles.
+#[derive(Clone)]
+struct ConvBundles {
+    tap_first: OpBundle,
+    tap_rest: OpBundle,
+    finish: OpBundle,
+    finish_zero: OpBundle,
+}
+
+impl ConvBundles {
+    fn new() -> Self {
+        ConvBundles {
+            tap_first: mac_iter_bundle(true),
+            tap_rest: mac_iter_bundle(false),
+            finish: finish_bundle(true, false),
+            finish_zero: finish_bundle(false, false),
+        }
+    }
+}
+
+/// Dense-layer task bundles.
+#[derive(Clone)]
+struct DenseBundles {
+    first: OpBundle,
+    rest: OpBundle,
+    finish: OpBundle,
+}
+
+impl DenseBundles {
+    fn new() -> Self {
+        DenseBundles {
+            first: mac_iter_bundle(true),
+            rest: mac_iter_bundle(false),
+            finish: finish_bundle(true, true),
+        }
+    }
+}
+
+/// Sparse-FC (undo-logging) task bundles.
+#[derive(Clone)]
+pub(crate) struct SparseBundles {
+    zero: OpBundle,
+    accum: OpBundle,
+    finish: OpBundle,
+}
+
+impl SparseBundles {
+    pub(crate) fn new() -> Self {
+        let mut zero = OpBundle::new();
+        zero.push(Op::FramWrite, Phase::Kernel);
+        push_continuation(&mut zero);
+        // One in-column scatter iteration: loop branch, column check
+        // read, entry (row, weight) reads, partial read, the two undo
+        // writes, the MAC, the in-place write, and loop continuation.
+        let mut accum = OpBundle::new();
+        accum.push(Op::Branch, Phase::Kernel);
+        accum.push(Op::FramRead, Phase::Kernel); // column check
+        accum.push(Op::FramRead, Phase::Kernel); // entry row
+        accum.push(Op::FramRead, Phase::Kernel); // entry weight
+        accum.push(Op::FramRead, Phase::Kernel); // current partial
+        accum.push(Op::FramWrite, Phase::Kernel); // undo value
+        accum.push(Op::FramWrite, Phase::Kernel); // undo tag
+        accum.push(Op::FxpMul, Phase::Kernel);
+        accum.push(Op::FxpAdd, Phase::Kernel);
+        accum.push(Op::FramWrite, Phase::Kernel); // in-place update
+        push_continuation(&mut accum);
+        SparseBundles {
+            zero,
+            accum,
+            finish: finish_bundle(true, true),
+        }
+    }
+}
+
+/// Loop-ordered sparse ablation bundles: pass-through rows with/without
+/// a pending entry to check, first/later input columns, plus the finish.
+#[derive(Clone)]
+struct LoopOrderedBundles {
+    pass_first: OpBundle,
+    pass_rest: OpBundle,
+    drain_first: OpBundle,
+    drain_rest: OpBundle,
+    finish: OpBundle,
+}
+
+impl LoopOrderedBundles {
+    fn new() -> Self {
+        let pass = |first: bool, has_entries: bool| {
+            let mut b = OpBundle::new();
+            if !first {
+                b.push(Op::FramRead, Phase::Kernel); // previous partial
+            }
+            b.push(Op::Branch, Phase::Kernel);
+            if has_entries {
+                b.push(Op::FramRead, Phase::Kernel); // entry row (hit check)
+            }
+            b.push(Op::FramWrite, Phase::Kernel);
+            push_continuation(&mut b);
+            b
+        };
+        LoopOrderedBundles {
+            pass_first: pass(true, true),
+            pass_rest: pass(false, true),
+            drain_first: pass(true, false),
+            drain_rest: pass(false, false),
+            finish: finish_bundle(true, true),
+        }
+    }
 }
 
 /// Tap metadata resolved once per task entry (held in registers).
@@ -112,6 +307,78 @@ fn conv_ntaps(
     }
 }
 
+/// The shift+bias finishing loop shared (modulo sources) by conv, dense,
+/// and sparse-dense layers — SONIC's and TAILS's alike: reads the
+/// partial, applies shift+bias, writes the output, checkpoints the index.
+///
+/// `partial_src`: `Some(plane)` reads `plane[j]`; `None` means a zero
+/// partial (fully pruned filter). `per_elem_bias`: per-element bias
+/// reads, or the filter-constant `bias_const` read before the loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_pass(
+    dev: &mut Device,
+    l: &DeployedLayer,
+    iter: &OpBundle,
+    ctl: mcu::FramWord,
+    partial_src: Option<FramBuf>,
+    per_elem_bias: Option<FramBuf>,
+    bias_const: Q15,
+    dst: FramBuf,
+    dst_base: u32,
+    total: u32,
+    shift: i32,
+    pack: impl Fn(u32) -> u16,
+    mut j: u32,
+) -> Result<(), PowerFailure> {
+    debug_assert_eq!(
+        iter.count(Phase::Kernel, Op::FramRead),
+        partial_src.is_some() as u64 + per_elem_bias.is_some() as u64,
+        "finish bundle does not match the pass's read set"
+    );
+    dev.set_context(l.region, Phase::Kernel);
+    while j < total {
+        let want = total - j;
+        let funded = dev.consume_bundle(iter, want as u64)? as u32;
+        for t in j..j + funded {
+            let partial = match partial_src {
+                Some(p) => Accum::from_q15(dev.prepaid_read(p, t)),
+                None => Accum::ZERO,
+            };
+            let b = match per_elem_bias {
+                Some(bb) => dev.prepaid_read(bb, t),
+                None => bias_const,
+            };
+            dev.prepaid_write(dst, dst_base + t, finish_acc(partial, shift, b));
+        }
+        j += funded;
+        if funded > 0 {
+            dev.prepaid_store_word(ctl, pack(j));
+            dev.mark_progress_n(funded as u64);
+        }
+        if j < total {
+            // Scalar replay of the unfunded iteration: the brown-out
+            // lands on exactly the same op as the all-scalar path.
+            let partial = match partial_src {
+                Some(p) => Accum::from_q15(dev.read(p, j)?),
+                None => Accum::ZERO,
+            };
+            let b = match per_elem_bias {
+                Some(bb) => dev.read(bb, j)?,
+                None => bias_const,
+            };
+            charge_finish(dev)?;
+            dev.write(dst, dst_base + j, finish_acc(partial, shift, b))?;
+            j += 1;
+            store_ctl(dev, ctl, pack(j), l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
+    }
+    Ok(())
+}
+
 /// The convolution layer task (Listing 1's `Task_Convolve` +
 /// `Task_Next_Filter` + the per-filter finishing pass, fused into one
 /// self-transitioning task).
@@ -120,6 +387,7 @@ fn conv_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
+    bundles: &ConvBundles,
     self_id: usize,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
@@ -167,24 +435,27 @@ fn conv_task(
                 m.plane_b
             })
         };
-        let mut j = load_ctl(dev, l.idx, l.region)? as u32;
-        dev.set_context(l.region, Phase::Kernel);
-        while j < plane {
-            // Partial planes hold Q15 sums; widen losslessly for the
-            // canonical finishing arithmetic.
-            let partial = match src_plane {
-                Some(p) => Accum::from_q15(dev.read(p, j)?),
-                None => Accum::ZERO,
-            };
-            charge_finish(dev)?;
-            dev.write(dst, f * plane + j, finish_acc(partial, *shift, b))?;
-            j += 1;
-            store_ctl(dev, l.idx, j as u16, l.region)?;
-            dev.set_context(l.region, Phase::Kernel);
-            dev.consume(Op::Incr)?;
-            dev.consume(Op::Branch)?;
-            dev.mark_progress();
-        }
+        let j = load_ctl(dev, l.idx, l.region)? as u32;
+        let iter = if src_plane.is_some() {
+            &bundles.finish
+        } else {
+            &bundles.finish_zero
+        };
+        finish_pass(
+            dev,
+            l,
+            iter,
+            l.idx,
+            src_plane,
+            None,
+            b,
+            dst,
+            f * plane,
+            plane,
+            *shift,
+            |j| j as u16,
+            j,
+        )?;
         // Advance: idx, pos reset before filt increments; a crash between
         // these re-runs the (idempotent) finishing pass.
         store_ctl(dev, l.idx, 0, l.region)?;
@@ -203,29 +474,67 @@ fn conv_task(
     } else {
         (m.plane_b, m.plane_a)
     };
+    let iter = if pos == 0 {
+        &bundles.tap_first
+    } else {
+        &bundles.tap_rest
+    };
+
     let mut i = load_ctl(dev, l.idx, l.region)? as u32;
     dev.set_context(l.region, Phase::Kernel);
     while i < plane {
-        let oy = i / ow;
-        let ox = i % ow;
-        dev.consume(Op::Alu)?;
-        let x = dev.read(src, (tap.c * h + oy + tap.ky) * w_in + ox + tap.kx)?;
-        dev.consume(Op::FxpMul)?;
-        let prod = x * tap.w;
-        let v = if pos == 0 {
-            prod
-        } else {
-            dev.consume(Op::FxpAdd)?;
-            dev.read(inter, i)? + prod
-        };
-        dev.write(dest, i, v)?;
-        i += 1;
-        // Loop continuation: the index write that checkpoints progress.
-        store_ctl(dev, l.idx, i as u16, l.region)?;
-        dev.set_context(l.region, Phase::Kernel);
-        dev.consume(Op::Incr)?;
-        dev.consume(Op::Branch)?;
-        dev.mark_progress();
+        let want = plane - i;
+        let funded = dev.consume_bundle(iter, want as u64)? as u32;
+        // The input window index advances incrementally (no per-element
+        // div/mod): for output (oy, ox) it is row_base + ox with
+        // row_base = (c·h + oy + ky)·w_in + kx.
+        let mut ox = i % ow;
+        let mut row_base = (tap.c * h + i / ow + tap.ky) * w_in + tap.kx;
+        for t in i..i + funded {
+            let x = dev.prepaid_read(src, row_base + ox);
+            let prod = x * tap.w;
+            let v = if pos == 0 {
+                prod
+            } else {
+                dev.prepaid_read(inter, t) + prod
+            };
+            dev.prepaid_write(dest, t, v);
+            ox += 1;
+            if ox == ow {
+                ox = 0;
+                row_base += w_in;
+            }
+        }
+        i += funded;
+        if funded > 0 {
+            // Only the last loop-continuation index write is observable
+            // after `funded` uninterrupted iterations.
+            dev.prepaid_store_word(l.idx, i as u16);
+            dev.mark_progress_n(funded as u64);
+        }
+        if i < plane {
+            // Scalar replay of the unfunded iteration.
+            let oy = i / ow;
+            let ox = i % ow;
+            dev.consume(Op::Alu)?;
+            let x = dev.read(src, (tap.c * h + oy + tap.ky) * w_in + ox + tap.kx)?;
+            dev.consume(Op::FxpMul)?;
+            let prod = x * tap.w;
+            let v = if pos == 0 {
+                prod
+            } else {
+                dev.consume(Op::FxpAdd)?;
+                dev.read(inter, i)? + prod
+            };
+            dev.write(dest, i, v)?;
+            i += 1;
+            // Loop continuation: the index write that checkpoints progress.
+            store_ctl(dev, l.idx, i as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
     }
     // Next filter element; crash between these stores re-runs this tap,
     // which is idempotent.
@@ -240,6 +549,7 @@ fn dense_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
+    bundles: &DenseBundles,
     self_id: usize,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
@@ -266,20 +576,22 @@ fn dense_task(
         } else {
             m.plane_b
         };
-        let mut o = load_ctl(dev, l.idx, l.region)? as u32;
-        dev.set_context(l.region, Phase::Kernel);
-        while o < out_n {
-            let partial = Accum::from_q15(dev.read(from, o)?);
-            let b = dev.read(*bias, o)?;
-            charge_finish(dev)?;
-            dev.write(dst, o, finish_acc(partial, *shift, b))?;
-            o += 1;
-            store_ctl(dev, l.idx, o as u16, l.region)?;
-            dev.set_context(l.region, Phase::Kernel);
-            dev.consume(Op::Incr)?;
-            dev.consume(Op::Branch)?;
-            dev.mark_progress();
-        }
+        let o = load_ctl(dev, l.idx, l.region)? as u32;
+        finish_pass(
+            dev,
+            l,
+            &bundles.finish,
+            l.idx,
+            Some(from),
+            Some(*bias),
+            Q15::ZERO,
+            dst,
+            0,
+            out_n,
+            *shift,
+            |o| o as u16,
+            o,
+        )?;
         store_ctl(dev, l.idx, 0, l.region)?;
         store_ctl(dev, l.pos, 0, l.region)?;
         return Ok(next);
@@ -293,26 +605,51 @@ fn dense_task(
     } else {
         (m.plane_b, m.plane_a)
     };
+    let iter = if j == 0 {
+        &bundles.first
+    } else {
+        &bundles.rest
+    };
+
     let mut o = load_ctl(dev, l.idx, l.region)? as u32;
     dev.set_context(l.region, Phase::Kernel);
     while o < out_n {
-        dev.consume(Op::Alu)?;
-        let wq = dev.read(*weights, o * in_n + j)?;
-        dev.consume(Op::FxpMul)?;
-        let prod = x * wq;
-        let v = if j == 0 {
-            prod
-        } else {
-            dev.consume(Op::FxpAdd)?;
-            dev.read(inter, o)? + prod
-        };
-        dev.write(dest, o, v)?;
-        o += 1;
-        store_ctl(dev, l.idx, o as u16, l.region)?;
-        dev.set_context(l.region, Phase::Kernel);
-        dev.consume(Op::Incr)?;
-        dev.consume(Op::Branch)?;
-        dev.mark_progress();
+        let want = out_n - o;
+        let funded = dev.consume_bundle(iter, want as u64)? as u32;
+        for t in o..o + funded {
+            let wq = dev.prepaid_read(*weights, t * in_n + j);
+            let prod = x * wq;
+            let v = if j == 0 {
+                prod
+            } else {
+                dev.prepaid_read(inter, t) + prod
+            };
+            dev.prepaid_write(dest, t, v);
+        }
+        o += funded;
+        if funded > 0 {
+            dev.prepaid_store_word(l.idx, o as u16);
+            dev.mark_progress_n(funded as u64);
+        }
+        if o < out_n {
+            dev.consume(Op::Alu)?;
+            let wq = dev.read(*weights, o * in_n + j)?;
+            dev.consume(Op::FxpMul)?;
+            let prod = x * wq;
+            let v = if j == 0 {
+                prod
+            } else {
+                dev.consume(Op::FxpAdd)?;
+                dev.read(inter, o)? + prod
+            };
+            dev.write(dest, o, v)?;
+            o += 1;
+            store_ctl(dev, l.idx, o as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
     }
     store_ctl(dev, l.idx, 0, l.region)?;
     store_ctl(dev, l.pos, (j + 1) as u16, l.region)?;
@@ -367,6 +704,7 @@ pub(crate) fn sparse_dense_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
+    bundles: &SparseBundles,
     self_id: usize,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
@@ -402,16 +740,28 @@ pub(crate) fn sparse_dense_task(
             let mut i = idx;
             dev.set_context(l.region, Phase::Kernel);
             while i < out_n {
-                dev.write(acc_plane, i, Q15::ZERO)?;
-                i += 1;
-                // Clamp so the zero pass cannot roll into ACCUM before the
-                // column cache (`pos`) is reset below; re-zeroing the last
-                // element on resume is idempotent.
-                store_ctl(dev, l.idx, st.pack(STAGE_ZERO, i.min(out_n - 1)), l.region)?;
-                dev.set_context(l.region, Phase::Kernel);
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
-                dev.mark_progress();
+                let want = out_n - i;
+                let funded = dev.consume_bundle(&bundles.zero, want as u64)? as u32;
+                for t in i..i + funded {
+                    dev.prepaid_write(acc_plane, t, Q15::ZERO);
+                }
+                i += funded;
+                if funded > 0 {
+                    // Clamp so the zero pass cannot roll into ACCUM before
+                    // the column cache (`pos`) is reset below; re-zeroing
+                    // the last element on resume is idempotent.
+                    dev.prepaid_store_word(l.idx, st.pack(STAGE_ZERO, i.min(out_n - 1)));
+                    dev.mark_progress_n(funded as u64);
+                }
+                if i < out_n {
+                    dev.write(acc_plane, i, Q15::ZERO)?;
+                    i += 1;
+                    store_ctl(dev, l.idx, st.pack(STAGE_ZERO, i.min(out_n - 1)), l.region)?;
+                    dev.set_context(l.region, Phase::Kernel);
+                    dev.consume(Op::Incr)?;
+                    dev.consume(Op::Branch)?;
+                    dev.mark_progress();
+                }
             }
             // Reset the column cache BEFORE the atomic stage transition:
             // ACCUM must never start with a stale (too-advanced) cache.
@@ -445,32 +795,80 @@ pub(crate) fn sparse_dense_task(
             };
             dev.set_context(l.region, Phase::Kernel);
             while k < nnz {
-                // Column advance (amortized: once per input element).
-                dev.consume(Op::Branch)?;
-                while (dev.read(*col_ptr, j + 1)?.raw() as u16 as u32) <= k {
-                    j += 1;
-                    store_ctl(dev, l.pos, j as u16, l.region)?;
-                    x = dev.read(src, j)?;
+                // Iterations stay in column j until k reaches col_ptr[j+1]
+                // (the scalar column-advance loop body never runs for
+                // them); bundle that run, then advance scalar-wise.
+                let col_end = (dev.prepaid_read(*col_ptr, j + 1).raw() as u16 as u32).min(nnz);
+                if col_end > k {
+                    let want = col_end - k;
+                    let funded = dev.consume_bundle(&bundles.accum, want as u64)? as u32;
+                    for t in k..k + funded {
+                        let o = dev.prepaid_read(*entries, 2 * t).raw() as u16 as u32;
+                        let wq = dev.prepaid_read(*entries, 2 * t + 1);
+                        let val = dev.prepaid_read(acc_plane, o);
+                        // Only the final iteration's undo slot survives an
+                        // uninterrupted run.
+                        dev.prepaid_store_word(l.undo_val, val.raw() as u16);
+                        dev.prepaid_store_word(l.undo_tag, t as u16);
+                        dev.prepaid_write(acc_plane, o, val + x * wq);
+                    }
+                    k += funded;
+                    if funded > 0 {
+                        dev.prepaid_store_word(l.idx, st.pack(STAGE_ACCUM, k));
+                        dev.mark_progress_n(funded as u64);
+                    }
+                    if k < col_end {
+                        // Scalar replay of the unfunded iteration.
+                        dev.consume(Op::Branch)?;
+                        // The column check fails (k is still in-column);
+                        // charge it like the scalar loop head does.
+                        let _ = dev.read(*col_ptr, j + 1)?;
+                        let o = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
+                        let wq = dev.read(*entries, 2 * k + 1)?;
+                        let val = dev.read(acc_plane, o)?;
+                        // Two-phase undo log: save value, then tag
+                        // (word-atomic). This is data buffering, not loop
+                        // control — it stays in the kernel phase (the
+                        // paper's Fig. 10 counts Alpaca's analogous dynamic
+                        // buffering as kernel time).
+                        dev.store_word(l.undo_val, val.raw() as u16)?;
+                        dev.store_word(l.undo_tag, k as u16)?;
+                        dev.consume(Op::FxpMul)?;
+                        dev.consume(Op::FxpAdd)?;
+                        dev.write(acc_plane, o, val + x * wq)?;
+                        k += 1;
+                        store_ctl(dev, l.idx, st.pack(STAGE_ACCUM, k), l.region)?;
+                        dev.set_context(l.region, Phase::Kernel);
+                        dev.consume(Op::Incr)?;
+                        dev.consume(Op::Branch)?;
+                        dev.mark_progress();
+                    }
+                } else {
+                    // Column advance (amortized: once per input element),
+                    // scalar exactly as before: the loop branch plus the
+                    // check-read/advance sequence until the check fails.
+                    dev.consume(Op::Branch)?;
+                    while (dev.read(*col_ptr, j + 1)?.raw() as u16 as u32) <= k {
+                        j += 1;
+                        store_ctl(dev, l.pos, j as u16, l.region)?;
+                        x = dev.read(src, j)?;
+                        dev.set_context(l.region, Phase::Kernel);
+                    }
+                    let o = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
+                    let wq = dev.read(*entries, 2 * k + 1)?;
+                    let val = dev.read(acc_plane, o)?;
+                    dev.store_word(l.undo_val, val.raw() as u16)?;
+                    dev.store_word(l.undo_tag, k as u16)?;
+                    dev.consume(Op::FxpMul)?;
+                    dev.consume(Op::FxpAdd)?;
+                    dev.write(acc_plane, o, val + x * wq)?;
+                    k += 1;
+                    store_ctl(dev, l.idx, st.pack(STAGE_ACCUM, k), l.region)?;
                     dev.set_context(l.region, Phase::Kernel);
+                    dev.consume(Op::Incr)?;
+                    dev.consume(Op::Branch)?;
+                    dev.mark_progress();
                 }
-                let o = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
-                let wq = dev.read(*entries, 2 * k + 1)?;
-                let val = dev.read(acc_plane, o)?;
-                // Two-phase undo log: save value, then tag (word-atomic).
-                // This is data buffering, not loop control — it stays in
-                // the kernel phase (the paper's Fig. 10 counts Alpaca's
-                // analogous dynamic buffering as kernel time).
-                dev.store_word(l.undo_val, val.raw() as u16)?;
-                dev.store_word(l.undo_tag, k as u16)?;
-                dev.consume(Op::FxpMul)?;
-                dev.consume(Op::FxpAdd)?;
-                dev.write(acc_plane, o, val + x * wq)?;
-                k += 1;
-                store_ctl(dev, l.idx, st.pack(STAGE_ACCUM, k), l.region)?;
-                dev.set_context(l.region, Phase::Kernel);
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
-                dev.mark_progress();
             }
             store_ctl(dev, l.idx, st.pack(STAGE_FINISH, 0), l.region)?;
             store_ctl(dev, l.undo_tag, UNDO_EMPTY, l.region)?;
@@ -479,20 +877,21 @@ pub(crate) fn sparse_dense_task(
         _ => {
             // Finish: shift + bias from the accumulation plane into the
             // output buffer (disjoint read/write sets: idempotent).
-            let mut o = idx;
-            dev.set_context(l.region, Phase::Kernel);
-            while o < out_n {
-                let partial = Accum::from_q15(dev.read(acc_plane, o)?);
-                let b = dev.read(*bias, o)?;
-                charge_finish(dev)?;
-                dev.write(dst, o, finish_acc(partial, *shift, b))?;
-                o += 1;
-                store_ctl(dev, l.idx, st.pack(STAGE_FINISH, o), l.region)?;
-                dev.set_context(l.region, Phase::Kernel);
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
-                dev.mark_progress();
-            }
+            finish_pass(
+                dev,
+                l,
+                &bundles.finish,
+                l.idx,
+                Some(acc_plane),
+                Some(*bias),
+                Q15::ZERO,
+                dst,
+                0,
+                out_n,
+                *shift,
+                |o| st.pack(STAGE_FINISH, o),
+                idx,
+            )?;
             store_ctl(dev, l.idx, st.pack(STAGE_ZERO, 0), l.region)?;
             store_ctl(dev, l.pos, 0, l.region)?;
             Ok(next)
@@ -506,10 +905,12 @@ pub(crate) fn sparse_dense_task(
 /// scratch buffers — "most of its time and energy copying unmodified
 /// activations between buffers" — which is exactly the waste sparse
 /// undo-logging exists to eliminate. Kept as an ablation.
+#[allow(clippy::too_many_lines)]
 fn sparse_dense_loop_ordered_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
+    bundles: &LoopOrderedBundles,
     self_id: usize,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
@@ -537,20 +938,22 @@ fn sparse_dense_loop_ordered_task(
         } else {
             m.plane_b
         };
-        let mut o = load_ctl(dev, l.idx, l.region)? as u32;
-        dev.set_context(l.region, Phase::Kernel);
-        while o < out_n {
-            let partial = Accum::from_q15(dev.read(from, o)?);
-            let b = dev.read(*bias, o)?;
-            charge_finish(dev)?;
-            dev.write(dst, o, finish_acc(partial, *shift, b))?;
-            o += 1;
-            store_ctl(dev, l.idx, o as u16, l.region)?;
-            dev.set_context(l.region, Phase::Kernel);
-            dev.consume(Op::Incr)?;
-            dev.consume(Op::Branch)?;
-            dev.mark_progress();
-        }
+        let o = load_ctl(dev, l.idx, l.region)? as u32;
+        finish_pass(
+            dev,
+            l,
+            &bundles.finish,
+            l.idx,
+            Some(from),
+            Some(*bias),
+            Q15::ZERO,
+            dst,
+            0,
+            out_n,
+            *shift,
+            |o| o as u16,
+            o,
+        )?;
         store_ctl(dev, l.idx, 0, l.region)?;
         store_ctl(dev, l.pos, 0, l.region)?;
         return Ok(next);
@@ -580,31 +983,85 @@ fn sparse_dense_loop_ordered_task(
         }
         k += 1;
     }
+    // Pass-through iterations (no entry hits this row). Two variants:
+    // while entries remain, each iteration reads the next entry's row for
+    // the hit check; after the last entry, it does not.
+    let (pass_iter, drain_iter) = if j == 0 {
+        (&bundles.pass_first, &bundles.drain_first)
+    } else {
+        (&bundles.pass_rest, &bundles.drain_rest)
+    };
+
     dev.set_context(l.region, Phase::Kernel);
     while o < out_n {
-        let mut v = if j == 0 {
-            Q15::ZERO
+        // Rows up to the next entry hit (or the end) are uniform.
+        let (iter, run_end) = if k < end {
+            let row = dev.prepaid_read(*entries, 2 * k).raw() as u16 as u32;
+            (pass_iter, row.min(out_n))
         } else {
-            dev.read(inter, o)?
+            (drain_iter, out_n)
         };
-        dev.consume(Op::Branch)?;
-        if k < end {
-            let row = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
-            if row == o {
-                let wq = dev.read(*entries, 2 * k + 1)?;
-                dev.consume(Op::FxpMul)?;
-                dev.consume(Op::FxpAdd)?;
-                v += x * wq;
-                k += 1;
+        if run_end > o {
+            let want = run_end - o;
+            let funded = dev.consume_bundle(iter, want as u64)? as u32;
+            for t in o..o + funded {
+                let v = if j == 0 {
+                    Q15::ZERO
+                } else {
+                    dev.prepaid_read(inter, t)
+                };
+                dev.prepaid_write(dest, t, v);
             }
+            o += funded;
+            if funded > 0 {
+                dev.prepaid_store_word(l.idx, o as u16);
+                dev.mark_progress_n(funded as u64);
+            }
+            if o < run_end {
+                // Scalar replay of the unfunded pass-through row.
+                let v = if j == 0 {
+                    Q15::ZERO
+                } else {
+                    dev.read(inter, o)?
+                };
+                dev.consume(Op::Branch)?;
+                if k < end {
+                    let _ = dev.read(*entries, 2 * k)?; // row check (miss)
+                }
+                dev.write(dest, o, v)?;
+                o += 1;
+                store_ctl(dev, l.idx, o as u16, l.region)?;
+                dev.set_context(l.region, Phase::Kernel);
+                dev.consume(Op::Incr)?;
+                dev.consume(Op::Branch)?;
+                dev.mark_progress();
+            }
+        } else {
+            // Entry hit: the full scalar iteration including the MAC.
+            let mut v = if j == 0 {
+                Q15::ZERO
+            } else {
+                dev.read(inter, o)?
+            };
+            dev.consume(Op::Branch)?;
+            if k < end {
+                let row = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
+                if row == o {
+                    let wq = dev.read(*entries, 2 * k + 1)?;
+                    dev.consume(Op::FxpMul)?;
+                    dev.consume(Op::FxpAdd)?;
+                    v += x * wq;
+                    k += 1;
+                }
+            }
+            dev.write(dest, o, v)?;
+            o += 1;
+            store_ctl(dev, l.idx, o as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
         }
-        dev.write(dest, o, v)?;
-        o += 1;
-        store_ctl(dev, l.idx, o as u16, l.region)?;
-        dev.set_context(l.region, Phase::Kernel);
-        dev.consume(Op::Incr)?;
-        dev.consume(Op::Branch)?;
-        dev.mark_progress();
     }
     store_ctl(dev, l.idx, 0, l.region)?;
     store_ctl(dev, l.pos, (j + 1) as u16, l.region)?;
@@ -616,11 +1073,12 @@ pub(crate) fn pool_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
+    iter: &OpBundle,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
     let from = load_ctl(dev, l.idx, l.region)? as u32;
     dev.set_context(l.region, Phase::Kernel);
-    pool_loop_continuation(dev, m, l, from)?;
+    pool_loop_continuation(dev, m, l, iter, from)?;
     store_ctl(dev, l.idx, 0, l.region)?;
     Ok(next)
 }
@@ -629,6 +1087,7 @@ fn pool_loop_continuation(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
+    iter: &OpBundle,
     from: u32,
 ) -> Result<(), PowerFailure> {
     let DeployedKind::Pool { kh, kw } = l.kind else {
@@ -638,29 +1097,55 @@ fn pool_loop_continuation(
     let [_, oh, ow] = l.out_shape;
     let src = m.buf(l.src);
     let dst = m.buf(l.dst);
+    let total = c * oh * ow;
+    debug_assert_eq!(iter.count(Phase::Kernel, Op::FramRead), (kh * kw) as u64);
     let mut o = from;
-    while o < c * oh * ow {
-        let ch = o / (oh * ow);
-        let oy = (o / ow) % oh;
-        let ox = o % ow;
-        let mut best = Q15::MIN;
-        for py in 0..kh {
-            for px in 0..kw {
-                dev.consume(Op::Alu)?;
-                let v = dev.read(src, (ch * h + oy * kh + py) * w + ox * kw + px)?;
-                dev.consume(Op::Branch)?;
-                if v > best {
-                    best = v;
+    while o < total {
+        let want = total - o;
+        let funded = dev.consume_bundle(iter, want as u64)? as u32;
+        for t in o..o + funded {
+            let ch = t / (oh * ow);
+            let oy = (t / ow) % oh;
+            let ox = t % ow;
+            let mut best = Q15::MIN;
+            for py in 0..kh {
+                for px in 0..kw {
+                    let v = dev.prepaid_read(src, (ch * h + oy * kh + py) * w + ox * kw + px);
+                    if v > best {
+                        best = v;
+                    }
                 }
             }
+            dev.prepaid_write(dst, t, best);
         }
-        dev.write(dst, o, best)?;
-        o += 1;
-        store_ctl(dev, l.idx, o as u16, l.region)?;
-        dev.set_context(l.region, Phase::Kernel);
-        dev.consume(Op::Incr)?;
-        dev.consume(Op::Branch)?;
-        dev.mark_progress();
+        o += funded;
+        if funded > 0 {
+            dev.prepaid_store_word(l.idx, o as u16);
+            dev.mark_progress_n(funded as u64);
+        }
+        if o < total {
+            let ch = o / (oh * ow);
+            let oy = (o / ow) % oh;
+            let ox = o % ow;
+            let mut best = Q15::MIN;
+            for py in 0..kh {
+                for px in 0..kw {
+                    dev.consume(Op::Alu)?;
+                    let v = dev.read(src, (ch * h + oy * kh + py) * w + ox * kw + px)?;
+                    dev.consume(Op::Branch)?;
+                    if v > best {
+                        best = v;
+                    }
+                }
+            }
+            dev.write(dst, o, best)?;
+            o += 1;
+            store_ctl(dev, l.idx, o as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
     }
     Ok(())
 }
@@ -671,22 +1156,37 @@ pub(crate) fn relu_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
+    iter: &OpBundle,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
     let [c, h, w] = l.in_shape;
     let buf = m.buf(l.src);
+    let total = c * h * w;
     let mut i = load_ctl(dev, l.idx, l.region)? as u32;
     dev.set_context(l.region, Phase::Kernel);
-    while i < c * h * w {
-        let v = dev.read(buf, i)?;
-        dev.consume(Op::Branch)?;
-        dev.write(buf, i, v.relu())?;
-        i += 1;
-        store_ctl(dev, l.idx, i as u16, l.region)?;
-        dev.set_context(l.region, Phase::Kernel);
-        dev.consume(Op::Incr)?;
-        dev.consume(Op::Branch)?;
-        dev.mark_progress();
+    while i < total {
+        let want = total - i;
+        let funded = dev.consume_bundle(iter, want as u64)? as u32;
+        for t in i..i + funded {
+            let v = dev.prepaid_read(buf, t);
+            dev.prepaid_write(buf, t, v.relu());
+        }
+        i += funded;
+        if funded > 0 {
+            dev.prepaid_store_word(l.idx, i as u16);
+            dev.mark_progress_n(funded as u64);
+        }
+        if i < total {
+            let v = dev.read(buf, i)?;
+            dev.consume(Op::Branch)?;
+            dev.write(buf, i, v.relu())?;
+            i += 1;
+            store_ctl(dev, l.idx, i as u16, l.region)?;
+            dev.set_context(l.region, Phase::Kernel);
+            dev.consume(Op::Incr)?;
+            dev.consume(Op::Branch)?;
+            dev.mark_progress();
+        }
     }
     store_ctl(dev, l.idx, 0, l.region)?;
     Ok(next)
@@ -725,28 +1225,63 @@ pub fn build_opts(m: &DeployedModel, opts: SonicOptions) -> TaskGraph<()> {
         } else {
             Transition::Done
         };
-        let m = m.clone();
         let name = format!("sonic-{}", layer_name(l));
-        g.add(&name, move |dev, _| {
-            let l = &m.layers[li];
-            match &l.kind {
-                DeployedKind::Conv { .. } => conv_task(dev, &m, l, self_id, next),
-                DeployedKind::Dense { sparse, .. } => {
-                    if sparse.is_some() {
-                        if opts.sparse_undo_logging {
-                            sparse_dense_task(dev, &m, l, self_id, next)
-                        } else {
-                            sparse_dense_loop_ordered_task(dev, &m, l, self_id, next)
-                        }
-                    } else {
-                        dense_task(dev, &m, l, self_id, next)
-                    }
-                }
-                DeployedKind::Pool { .. } => pool_task(dev, &m, l, next),
-                DeployedKind::Relu => relu_task(dev, &m, l, next),
-                DeployedKind::Flatten => Ok(next),
+        // Iteration bundles are precomputed here and captured: every task
+        // entry reuses them instead of rebuilding.
+        match &l.kind {
+            DeployedKind::Conv { .. } => {
+                let m = m.clone();
+                let bundles = ConvBundles::new();
+                g.add(&name, move |dev, _| {
+                    conv_task(dev, &m, &m.layers[li], &bundles, self_id, next)
+                });
             }
-        });
+            DeployedKind::Dense { sparse, .. } if sparse.is_some() => {
+                let m = m.clone();
+                if opts.sparse_undo_logging {
+                    let bundles = SparseBundles::new();
+                    g.add(&name, move |dev, _| {
+                        sparse_dense_task(dev, &m, &m.layers[li], &bundles, self_id, next)
+                    });
+                } else {
+                    let bundles = LoopOrderedBundles::new();
+                    g.add(&name, move |dev, _| {
+                        sparse_dense_loop_ordered_task(
+                            dev,
+                            &m,
+                            &m.layers[li],
+                            &bundles,
+                            self_id,
+                            next,
+                        )
+                    });
+                }
+            }
+            DeployedKind::Dense { .. } => {
+                let m = m.clone();
+                let bundles = DenseBundles::new();
+                g.add(&name, move |dev, _| {
+                    dense_task(dev, &m, &m.layers[li], &bundles, self_id, next)
+                });
+            }
+            DeployedKind::Pool { kh, kw } => {
+                let m = m.clone();
+                let iter = pool_iter_bundle(*kh, *kw);
+                g.add(&name, move |dev, _| {
+                    pool_task(dev, &m, &m.layers[li], &iter, next)
+                });
+            }
+            DeployedKind::Relu => {
+                let m = m.clone();
+                let iter = relu_iter_bundle();
+                g.add(&name, move |dev, _| {
+                    relu_task(dev, &m, &m.layers[li], &iter, next)
+                });
+            }
+            DeployedKind::Flatten => {
+                g.add(&name, move |_, _| Ok(next));
+            }
+        }
     }
     if n == 0 {
         g.add("sonic-empty", |_, _| Ok(Transition::Done));

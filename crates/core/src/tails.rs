@@ -24,14 +24,21 @@
 //! The `use_lea` / `use_dma` switches reproduce the paper's ablation
 //! ("LEA consistently improved performance by 1.4×, while DMA improved it
 //! by 14%").
+//!
+//! # Bundled accounting
+//!
+//! DMA transfers and LEA commands were already span-charged; the software
+//! word loops (CPU staging, the left-shift pass, the software FIR/dot
+//! ablations, partial-plane accumulation) and the per-element finishing
+//! passes now charge per loop body via [`mcu::OpBundle`] with the same
+//! funded-bulk + scalar-replay discipline as `sonic` — bit-identical
+//! traces, brown-out op included (pinned by the root `bundles` tests).
 
-use crate::baseline::charge_finish;
 use crate::deploy::{DeployedKind, DeployedLayer, DeployedModel};
 use crate::sonic;
-use dnn::quant::finish_acc;
 use fxp::{Accum, Q15};
 use intermittent::task::{TaskGraph, Transition};
-use mcu::{Device, FramBuf, Op, Phase, PowerFailure, SramBuf};
+use mcu::{Device, FramBuf, Op, OpBundle, Phase, PowerFailure, SramBuf};
 
 /// Hardware usage switches (both `true` for real TAILS; ablations flip
 /// them to software emulations).
@@ -78,7 +85,8 @@ fn alloc_sram(dev: &mut Device) -> SramBufs {
     }
 }
 
-/// Copies FRAM → SRAM by DMA or CPU loop depending on config.
+/// Copies FRAM → SRAM by DMA or CPU loop depending on config. Both paths
+/// charge per span; the CPU loop's brown-out replays scalar-wise.
 fn stage_in(
     dev: &mut Device,
     cfg: TailsConfig,
@@ -88,11 +96,25 @@ fn stage_in(
     if cfg.use_dma {
         dev.dma_fram_to_sram(src, dst)
     } else {
-        for i in 0..src.len() {
-            let v = dev.read(src, i)?;
-            dev.sram_write(dst, i, v)?;
-            dev.consume(Op::Incr)?;
-            dev.consume(Op::Branch)?;
+        let phase = dev.context().1;
+        let mut iter = OpBundle::new();
+        stage_in_word_ops(&mut iter, phase);
+        let total = src.len();
+        let mut i = 0u32;
+        while i < total {
+            let funded = dev.consume_bundle(&iter, (total - i) as u64)? as u32;
+            for t in i..i + funded {
+                let v = dev.prepaid_read(src, t);
+                dev.prepaid_sram_write(dst, t, v);
+            }
+            i += funded;
+            if i < total {
+                let v = dev.read(src, i)?;
+                dev.sram_write(dst, i, v)?;
+                dev.consume(Op::Incr)?;
+                dev.consume(Op::Branch)?;
+                i += 1;
+            }
         }
         Ok(())
     }
@@ -108,14 +130,183 @@ fn stage_out(
     if cfg.use_dma {
         dev.dma_sram_to_fram(src, dst)
     } else {
-        for i in 0..src.len() {
-            let v = dev.sram_read(src, i)?;
-            dev.write(dst, i, v)?;
-            dev.consume(Op::Incr)?;
-            dev.consume(Op::Branch)?;
+        let phase = dev.context().1;
+        let mut iter = OpBundle::new();
+        stage_out_word_ops(&mut iter, phase);
+        let total = src.len();
+        let mut i = 0u32;
+        while i < total {
+            let funded = dev.consume_bundle(&iter, (total - i) as u64)? as u32;
+            for t in i..i + funded {
+                let v = dev.prepaid_sram_read(src, t);
+                dev.prepaid_write(dst, t, v);
+            }
+            i += funded;
+            if i < total {
+                let v = dev.sram_read(src, i)?;
+                dev.write(dst, i, v)?;
+                dev.consume(Op::Incr)?;
+                dev.consume(Op::Branch)?;
+                i += 1;
+            }
         }
         Ok(())
     }
+}
+
+// ----- single-source word-level op sequences -------------------------
+//
+// Each software primitive's per-word (or per-output) op sequence is
+// defined exactly once here and used BOTH by the primitive's own
+// funded-bulk loop and by the whole-row bundle builders below — editing
+// a primitive's cost cannot desynchronize the row bundles.
+
+/// One word of CPU staging FRAM → SRAM (the `use_dma = false` ablation).
+fn stage_in_word_ops(b: &mut OpBundle, phase: Phase) {
+    b.push(Op::FramRead, phase);
+    b.push(Op::SramWrite, phase);
+    b.push(Op::Incr, phase);
+    b.push(Op::Branch, phase);
+}
+
+/// One word of CPU staging SRAM → FRAM.
+fn stage_out_word_ops(b: &mut OpBundle, phase: Phase) {
+    b.push(Op::SramRead, phase);
+    b.push(Op::FramWrite, phase);
+    b.push(Op::Incr, phase);
+    b.push(Op::Branch, phase);
+}
+
+/// One word of the software left-shift pass (read, shift ALU, write),
+/// charged to the control phase.
+fn shift_word_ops(b: &mut OpBundle) {
+    b.push(Op::SramRead, Phase::Control);
+    b.push(Op::Alu, Phase::Control);
+    b.push(Op::SramWrite, Phase::Control);
+}
+
+/// One output of the software FIR (`use_lea = false`): the tap-window
+/// MACs plus the result write.
+fn fir_out_ops(b: &mut OpBundle, ntaps: u32, phase: Phase) {
+    for _ in 0..ntaps {
+        b.push(Op::SramRead, phase);
+        b.push(Op::FxpMul, phase);
+        b.push(Op::FxpAdd, phase);
+    }
+    b.push(Op::SramWrite, phase);
+}
+
+/// One word of the software element-wise add.
+fn vec_add_word_ops(b: &mut OpBundle, phase: Phase) {
+    b.push(Op::SramRead, phase);
+    b.push(Op::SramRead, phase);
+    b.push(Op::FxpAdd, phase);
+    b.push(Op::SramWrite, phase);
+}
+
+/// The software-shift iteration bundle.
+fn shift_iter_bundle() -> OpBundle {
+    let mut b = OpBundle::new();
+    shift_word_ops(&mut b);
+    b
+}
+
+// ----- whole-row bundles ---------------------------------------------
+//
+// The TAILS convolution's inner loop body is one output *row* (DMA in,
+// software shift, FIR, optional partial-row accumulate, DMA out, loop
+// continuation). Its op sequence is fixed by layer geometry and the
+// LEA/DMA config, so whole rows charge as one bundle; the first unfunded
+// row replays through the scalar primitives below, landing the brown-out
+// on the exact op. The push_* builders mirror the primitives' op
+// sequences exactly — each has a debug companion in the scalar code.
+
+/// Ops of [`stage_in`] for an `n`-word span.
+fn push_stage_in(b: &mut OpBundle, cfg: TailsConfig, n: u32, phase: Phase) {
+    if cfg.use_dma {
+        b.push(Op::DmaSetup, phase);
+        b.push_n(Op::DmaWord, phase, n as u64);
+    } else {
+        for _ in 0..n {
+            stage_in_word_ops(b, phase);
+        }
+    }
+}
+
+/// Ops of [`stage_out`] for an `n`-word span.
+fn push_stage_out(b: &mut OpBundle, cfg: TailsConfig, n: u32, phase: Phase) {
+    if cfg.use_dma {
+        b.push(Op::DmaSetup, phase);
+        b.push_n(Op::DmaWord, phase, n as u64);
+    } else {
+        for _ in 0..n {
+            stage_out_word_ops(b, phase);
+        }
+    }
+}
+
+/// Ops of [`fir`] over `n_src` inputs with `ntaps` taps.
+fn push_fir(b: &mut OpBundle, cfg: TailsConfig, n_src: u32, ntaps: u32, phase: Phase) {
+    let n_out = n_src - ntaps + 1;
+    if cfg.use_lea {
+        b.push(Op::LeaSetup, phase);
+        b.push_n(Op::LeaMac, phase, n_out as u64 * ntaps as u64);
+    } else {
+        b.push_n(Op::SramRead, phase, ntaps as u64); // taps pre-read
+        for _ in 0..n_out {
+            fir_out_ops(b, ntaps, phase);
+        }
+    }
+}
+
+/// Ops of [`vec_add`] over `n` words.
+fn push_vec_add(b: &mut OpBundle, cfg: TailsConfig, n: u32, phase: Phase) {
+    if cfg.use_lea {
+        b.push_n(Op::LeaMac, phase, n as u64);
+        b.push_n(Op::SramWrite, phase, n as u64);
+    } else {
+        for _ in 0..n {
+            vec_add_word_ops(b, phase);
+        }
+    }
+}
+
+/// The per-row loop-continuation trailer (control-phase index write,
+/// increment, branch).
+fn push_row_trailer(b: &mut OpBundle) {
+    b.push(Op::FramWrite, Phase::Control);
+    b.push(Op::Incr, Phase::Kernel);
+    b.push(Op::Branch, Phase::Kernel);
+}
+
+/// One full convolution output row.
+fn conv_row_bundle(cfg: TailsConfig, w_in: u32, ow: u32, kw: u32, with_inter: bool) -> OpBundle {
+    let mut b = OpBundle::new();
+    push_stage_in(&mut b, cfg, w_in, Phase::Kernel);
+    for _ in 0..w_in {
+        shift_word_ops(&mut b);
+    }
+    push_fir(&mut b, cfg, w_in, kw, Phase::Kernel);
+    if with_inter {
+        push_stage_in(&mut b, cfg, ow, Phase::Kernel);
+        push_vec_add(&mut b, cfg, ow, Phase::Kernel);
+    }
+    push_stage_out(&mut b, cfg, ow, Phase::Kernel);
+    push_row_trailer(&mut b);
+    b
+}
+
+/// One pass-through row of a fully pruned (all-zero) tap group.
+fn conv_zero_row_bundle(cfg: TailsConfig, ow: u32, with_inter: bool) -> OpBundle {
+    let mut b = OpBundle::new();
+    if with_inter {
+        push_stage_in(&mut b, cfg, ow, Phase::Kernel);
+    } else {
+        b.push_n(Op::SramWrite, Phase::Kernel, ow as u64);
+    }
+    push_stage_out(&mut b, cfg, ow, Phase::Kernel);
+    push_row_trailer(&mut b);
+    b
 }
 
 /// The software left-shift pass LEA cannot do (charged to the control
@@ -125,12 +316,23 @@ fn software_shift(
     buf: SramBuf,
     n: u32,
     region: mcu::RegionId,
+    iter: &OpBundle,
 ) -> Result<(), PowerFailure> {
     dev.set_context(region, Phase::Control);
-    for i in 0..n {
-        let v = dev.sram_read(buf, i)?;
-        dev.consume(Op::Alu)?;
-        dev.sram_write(buf, i, v)?;
+    let mut i = 0u32;
+    while i < n {
+        let funded = dev.consume_bundle(iter, (n - i) as u64)? as u32;
+        for t in i..i + funded {
+            let v = dev.prepaid_sram_read(buf, t);
+            dev.prepaid_sram_write(buf, t, v);
+        }
+        i += funded;
+        if i < n {
+            let v = dev.sram_read(buf, i)?;
+            dev.consume(Op::Alu)?;
+            dev.sram_write(buf, i, v)?;
+            i += 1;
+        }
     }
     Ok(())
 }
@@ -147,18 +349,34 @@ fn fir(
         dev.lea_fir(src, taps, out)
     } else {
         let n = src.len() - taps.len() + 1;
-        let t: Vec<Q15> = (0..taps.len())
-            .map(|i| dev.sram_read(taps, i))
-            .collect::<Result<_, _>>()?;
-        for i in 0..n {
-            let mut acc = Accum::ZERO;
-            for (j, tq) in t.iter().enumerate() {
-                let s = dev.sram_read(src, i + j as u32)?;
-                dev.consume(Op::FxpMul)?;
-                dev.consume(Op::FxpAdd)?;
-                acc.mac(s, *tq);
+        let ntaps = taps.len();
+        let mut t = vec![Q15::ZERO; ntaps as usize];
+        dev.sram_read_block(taps, 0, &mut t)?;
+        let phase = dev.context().1;
+        let mut iter = OpBundle::new();
+        fir_out_ops(&mut iter, ntaps, phase);
+        let mut i = 0u32;
+        while i < n {
+            let funded = dev.consume_bundle(&iter, (n - i) as u64)? as u32;
+            for o in i..i + funded {
+                let mut acc = Accum::ZERO;
+                for (j, tq) in t.iter().enumerate() {
+                    acc.mac(dev.prepaid_sram_read(src, o + j as u32), *tq);
+                }
+                dev.prepaid_sram_write(out, o, acc.to_q15());
             }
-            dev.sram_write(out, i, acc.to_q15())?;
+            i += funded;
+            if i < n {
+                let mut acc = Accum::ZERO;
+                for (j, tq) in t.iter().enumerate() {
+                    let s = dev.sram_read(src, i + j as u32)?;
+                    dev.consume(Op::FxpMul)?;
+                    dev.consume(Op::FxpAdd)?;
+                    acc.mac(s, *tq);
+                }
+                dev.sram_write(out, i, acc.to_q15())?;
+                i += 1;
+            }
         }
         Ok(())
     }
@@ -169,13 +387,29 @@ fn dot(dev: &mut Device, cfg: TailsConfig, a: SramBuf, b: SramBuf) -> Result<Acc
     if cfg.use_lea {
         dev.lea_dot(a, b)
     } else {
+        let phase = dev.context().1;
+        let mut iter = OpBundle::new();
+        iter.push(Op::SramRead, phase);
+        iter.push(Op::SramRead, phase);
+        iter.push(Op::FxpMul, phase);
+        iter.push(Op::FxpAdd, phase);
+        let n = a.len();
         let mut acc = Accum::ZERO;
-        for i in 0..a.len() {
-            let x = dev.sram_read(a, i)?;
-            let y = dev.sram_read(b, i)?;
-            dev.consume(Op::FxpMul)?;
-            dev.consume(Op::FxpAdd)?;
-            acc.mac(x, y);
+        let mut i = 0u32;
+        while i < n {
+            let funded = dev.consume_bundle(&iter, (n - i) as u64)? as u32;
+            for t in i..i + funded {
+                acc.mac(dev.prepaid_sram_read(a, t), dev.prepaid_sram_read(b, t));
+            }
+            i += funded;
+            if i < n {
+                let x = dev.sram_read(a, i)?;
+                let y = dev.sram_read(b, i)?;
+                dev.consume(Op::FxpMul)?;
+                dev.consume(Op::FxpAdd)?;
+                acc.mac(x, y);
+                i += 1;
+            }
         }
         Ok(acc)
     }
@@ -194,19 +428,32 @@ fn vec_add(
         // Chained onto the preceding FIR command: no fresh setup.
         dev.consume_n(Op::LeaMac, n as u64)?;
         // Both operands are staged in SRAM; LEA reads them internally
-        // (charged above), so the arithmetic uses the host view.
-        let a = dev.sram_peek(dst.slice(0, n));
-        let b = dev.sram_peek(src.slice(0, n));
-        for i in 0..n {
-            dev.sram_write(dst, i, a[i as usize] + b[i as usize])?;
-        }
-        Ok(())
+        // (charged above), so the arithmetic uses the host view. The
+        // result writes charge as one span, exactly like the historical
+        // per-word loop.
+        let vals: Vec<Q15> = (0..n)
+            .map(|i| dev.prepaid_sram_read(dst, i) + dev.prepaid_sram_read(src, i))
+            .collect();
+        dev.sram_write_block(dst, 0, &vals)
     } else {
-        for i in 0..n {
-            let a = dev.sram_read(dst, i)?;
-            let b = dev.sram_read(src, i)?;
-            dev.consume(Op::FxpAdd)?;
-            dev.sram_write(dst, i, a + b)?;
+        let phase = dev.context().1;
+        let mut iter = OpBundle::new();
+        vec_add_word_ops(&mut iter, phase);
+        let mut i = 0u32;
+        while i < n {
+            let funded = dev.consume_bundle(&iter, (n - i) as u64)? as u32;
+            for t in i..i + funded {
+                let v = dev.prepaid_sram_read(dst, t) + dev.prepaid_sram_read(src, t);
+                dev.prepaid_sram_write(dst, t, v);
+            }
+            i += funded;
+            if i < n {
+                let a = dev.sram_read(dst, i)?;
+                let b = dev.sram_read(src, i)?;
+                dev.consume(Op::FxpAdd)?;
+                dev.sram_write(dst, i, a + b)?;
+                i += 1;
+            }
         }
         Ok(())
     }
@@ -264,13 +511,14 @@ fn calibrate_task(
 
 /// TAILS convolution: per (filter, channel, kernel-row) FIR groups with
 /// loop continuation over output rows.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn conv_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
     sram: SramBufs,
     cfg: TailsConfig,
+    bundles: &TailsConvBundles,
     self_id: usize,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
@@ -310,20 +558,22 @@ fn conv_task(
         } else {
             m.plane_b
         };
-        let mut j = dev.load_word(l.idx)? as u32;
-        dev.set_context(l.region, Phase::Kernel);
-        while j < plane {
-            let partial = Accum::from_q15(dev.read(from_plane, j)?);
-            charge_finish(dev)?;
-            dev.write(dst, f * plane + j, finish_acc(partial, *shift, b))?;
-            j += 1;
-            dev.set_context(l.region, Phase::Control);
-            dev.store_word(l.idx, j as u16)?;
-            dev.set_context(l.region, Phase::Kernel);
-            dev.consume(Op::Incr)?;
-            dev.consume(Op::Branch)?;
-            dev.mark_progress();
-        }
+        let j = dev.load_word(l.idx)? as u32;
+        sonic::finish_pass(
+            dev,
+            l,
+            &bundles.finish,
+            l.idx,
+            Some(from_plane),
+            None,
+            b,
+            dst,
+            f * plane,
+            plane,
+            *shift,
+            |j| j as u16,
+            j,
+        )?;
         dev.set_context(l.region, Phase::Control);
         dev.store_word(l.idx, 0)?;
         dev.store_word(l.pos, 0)?;
@@ -358,14 +608,132 @@ fn conv_task(
     if all_zero {
         let mut oy = dev.load_word(l.idx)? as u32;
         dev.set_context(l.region, Phase::Kernel);
+        let row_iter = if g > 0 {
+            &bundles.zero_row_rest
+        } else {
+            &bundles.zero_row_first
+        };
         while oy < oh {
-            if g > 0 {
-                stage_in(dev, cfg, inter.slice(oy * ow, ow), sram.out.slice(0, ow))?;
-            } else {
-                for i in 0..ow {
-                    dev.sram_write(sram.out, i, Q15::ZERO)?;
+            let want = oh - oy;
+            let funded = dev.consume_bundle(row_iter, want as u64)? as u32;
+            for r in oy..oy + funded {
+                if g > 0 {
+                    for t in 0..ow {
+                        let v = dev.prepaid_read(inter, r * ow + t);
+                        dev.prepaid_sram_write(sram.out, t, v);
+                    }
+                } else {
+                    for t in 0..ow {
+                        dev.prepaid_sram_write(sram.out, t, Q15::ZERO);
+                    }
+                }
+                for t in 0..ow {
+                    let v = dev.prepaid_sram_read(sram.out, t);
+                    dev.prepaid_write(dest, r * ow + t, v);
                 }
             }
+            oy += funded;
+            if funded > 0 {
+                dev.prepaid_store_word(l.idx, oy as u16);
+                dev.mark_progress_n(funded as u64);
+            }
+            if oy < oh {
+                // Scalar replay of the unfunded row.
+                if g > 0 {
+                    stage_in(dev, cfg, inter.slice(oy * ow, ow), sram.out.slice(0, ow))?;
+                } else {
+                    let zeros = vec![Q15::ZERO; ow as usize];
+                    dev.sram_write_block(sram.out, 0, &zeros)?;
+                }
+                stage_out(dev, cfg, sram.out.slice(0, ow), dest.slice(oy * ow, ow))?;
+                oy += 1;
+                dev.set_context(l.region, Phase::Control);
+                dev.store_word(l.idx, oy as u16)?;
+                dev.set_context(l.region, Phase::Kernel);
+                dev.consume(Op::Incr)?;
+                dev.consume(Op::Branch)?;
+                dev.mark_progress();
+            }
+        }
+        dev.set_context(l.region, Phase::Control);
+        dev.store_word(l.idx, 0)?;
+        dev.store_word(l.pos, (g + 1) as u16)?;
+        return Ok(Transition::To(self_id));
+    }
+    // LEA cannot left-shift: pre-shift taps in software.
+    software_shift(dev, sram.taps.slice(0, kw), kw, l.region, &bundles.shift)?;
+
+    let mut oy = dev.load_word(l.idx)? as u32;
+    dev.set_context(l.region, Phase::Kernel);
+    let row_iter = if g > 0 {
+        &bundles.row_rest
+    } else {
+        &bundles.row_first
+    };
+    while oy < oh {
+        let want = oh - oy;
+        let funded = dev.consume_bundle(row_iter, want as u64)? as u32;
+        for r in oy..oy + funded {
+            // Host-side row effects for the funded rows: stage the input
+            // row, FIR against the (pre-shifted) taps, accumulate the
+            // previous partial row, write the new partial row. The
+            // software shift writes values back unchanged, so staging
+            // alone reproduces the SRAM state.
+            let src_base = (c * h + r + ky) * w_in;
+            for t in 0..w_in {
+                let v = dev.prepaid_read(src, src_base + t);
+                dev.prepaid_sram_write(sram.src, t, v);
+            }
+            for o in 0..ow {
+                let mut a = Accum::ZERO;
+                for j in 0..kw {
+                    a.mac(
+                        dev.prepaid_sram_read(sram.src, o + j),
+                        dev.prepaid_sram_read(sram.taps, j),
+                    );
+                }
+                dev.prepaid_sram_write(sram.out, o, a.to_q15());
+            }
+            if g > 0 {
+                for t in 0..ow {
+                    let v = dev.prepaid_read(inter, r * ow + t);
+                    dev.prepaid_sram_write(sram.inter, t, v);
+                }
+                for t in 0..ow {
+                    let v =
+                        dev.prepaid_sram_read(sram.out, t) + dev.prepaid_sram_read(sram.inter, t);
+                    dev.prepaid_sram_write(sram.out, t, v);
+                }
+            }
+            for t in 0..ow {
+                let v = dev.prepaid_sram_read(sram.out, t);
+                dev.prepaid_write(dest, r * ow + t, v);
+            }
+        }
+        oy += funded;
+        if funded > 0 {
+            dev.prepaid_store_word(l.idx, oy as u16);
+            dev.mark_progress_n(funded as u64);
+        }
+        if oy < oh {
+            // Scalar replay of the unfunded row: the brown-out lands on
+            // exactly the same op as the all-scalar path.
+            let src_row = src.slice((c * h + oy + ky) * w_in, w_in);
+            stage_in(dev, cfg, src_row, sram.src.slice(0, w_in))?;
+            software_shift(dev, sram.src.slice(0, w_in), w_in, l.region, &bundles.shift)?;
+            dev.set_context(l.region, Phase::Kernel);
+            fir(
+                dev,
+                cfg,
+                sram.src.slice(0, w_in),
+                sram.taps.slice(0, kw),
+                sram.out.slice(0, ow),
+            )?;
+            if g > 0 {
+                stage_in(dev, cfg, inter.slice(oy * ow, ow), sram.inter.slice(0, ow))?;
+                vec_add(dev, cfg, sram.out.slice(0, ow), sram.inter.slice(0, ow), ow)?;
+            }
+            // Write the new partial row to the inactive plane (idempotent).
             stage_out(dev, cfg, sram.out.slice(0, ow), dest.slice(oy * ow, ow))?;
             oy += 1;
             dev.set_context(l.region, Phase::Control);
@@ -375,42 +743,6 @@ fn conv_task(
             dev.consume(Op::Branch)?;
             dev.mark_progress();
         }
-        dev.set_context(l.region, Phase::Control);
-        dev.store_word(l.idx, 0)?;
-        dev.store_word(l.pos, (g + 1) as u16)?;
-        return Ok(Transition::To(self_id));
-    }
-    // LEA cannot left-shift: pre-shift taps in software.
-    software_shift(dev, sram.taps.slice(0, kw), kw, l.region)?;
-
-    let mut oy = dev.load_word(l.idx)? as u32;
-    dev.set_context(l.region, Phase::Kernel);
-    while oy < oh {
-        // Stage the input row (w_in words, giving ow FIR outputs).
-        let src_row = src.slice((c * h + oy + ky) * w_in, w_in);
-        stage_in(dev, cfg, src_row, sram.src.slice(0, w_in))?;
-        software_shift(dev, sram.src.slice(0, w_in), w_in, l.region)?;
-        dev.set_context(l.region, Phase::Kernel);
-        fir(
-            dev,
-            cfg,
-            sram.src.slice(0, w_in),
-            sram.taps.slice(0, kw),
-            sram.out.slice(0, ow),
-        )?;
-        if g > 0 {
-            stage_in(dev, cfg, inter.slice(oy * ow, ow), sram.inter.slice(0, ow))?;
-            vec_add(dev, cfg, sram.out.slice(0, ow), sram.inter.slice(0, ow), ow)?;
-        }
-        // Write the new partial row to the inactive plane (idempotent).
-        stage_out(dev, cfg, sram.out.slice(0, ow), dest.slice(oy * ow, ow))?;
-        oy += 1;
-        dev.set_context(l.region, Phase::Control);
-        dev.store_word(l.idx, oy as u16)?;
-        dev.set_context(l.region, Phase::Kernel);
-        dev.consume(Op::Incr)?;
-        dev.consume(Op::Branch)?;
-        dev.mark_progress();
     }
     dev.set_context(l.region, Phase::Control);
     dev.store_word(l.idx, 0)?;
@@ -420,12 +752,14 @@ fn conv_task(
 
 /// TAILS dense fully-connected layer: LEA vector MAC over
 /// calibration-sized chunks, loop-ordered across chunks.
+#[allow(clippy::too_many_arguments)]
 fn dense_task(
     dev: &mut Device,
     m: &DeployedModel,
     l: &DeployedLayer,
     sram: SramBufs,
     cfg: TailsConfig,
+    bundles: &TailsDenseBundles,
     self_id: usize,
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
@@ -456,21 +790,22 @@ fn dense_task(
         } else {
             m.plane_b
         };
-        let mut o = dev.load_word(l.idx)? as u32;
-        dev.set_context(l.region, Phase::Kernel);
-        while o < out_n {
-            let partial = Accum::from_q15(dev.read(from, o)?);
-            let b = dev.read(*bias, o)?;
-            charge_finish(dev)?;
-            dev.write(dst, o, finish_acc(partial, *shift, b))?;
-            o += 1;
-            dev.set_context(l.region, Phase::Control);
-            dev.store_word(l.idx, o as u16)?;
-            dev.set_context(l.region, Phase::Kernel);
-            dev.consume(Op::Incr)?;
-            dev.consume(Op::Branch)?;
-            dev.mark_progress();
-        }
+        let o = dev.load_word(l.idx)? as u32;
+        sonic::finish_pass(
+            dev,
+            l,
+            &bundles.finish,
+            l.idx,
+            Some(from),
+            Some(*bias),
+            Q15::ZERO,
+            dst,
+            0,
+            out_n,
+            *shift,
+            |o| o as u16,
+            o,
+        )?;
         dev.set_context(l.region, Phase::Control);
         dev.store_word(l.idx, 0)?;
         dev.store_word(l.pos, 0)?;
@@ -481,7 +816,7 @@ fn dense_task(
     let base = ci * tile;
     let n = tile.min(in_n - base);
     stage_in(dev, cfg, src.slice(base, n), sram.src.slice(0, n))?;
-    software_shift(dev, sram.src.slice(0, n), n, l.region)?;
+    software_shift(dev, sram.src.slice(0, n), n, l.region, &bundles.shift)?;
     let (dest, inter) = if ci.is_multiple_of(2) {
         (m.plane_a, m.plane_b)
     } else {
@@ -520,6 +855,50 @@ fn dense_task(
     Ok(Transition::To(self_id))
 }
 
+/// Precomputed conv-task bundles (graph-build time, geometry-specific,
+/// reused by every task entry).
+#[derive(Clone)]
+struct TailsConvBundles {
+    shift: OpBundle,
+    finish: OpBundle,
+    /// Full output row, first tap group (no partial accumulate).
+    row_first: OpBundle,
+    /// Full output row, later tap groups.
+    row_rest: OpBundle,
+    /// All-zero tap group pass-through rows.
+    zero_row_first: OpBundle,
+    zero_row_rest: OpBundle,
+}
+
+impl TailsConvBundles {
+    fn new(cfg: TailsConfig, w_in: u32, ow: u32, kw: u32) -> Self {
+        TailsConvBundles {
+            shift: shift_iter_bundle(),
+            finish: sonic::finish_bundle(true, false),
+            row_first: conv_row_bundle(cfg, w_in, ow, kw, false),
+            row_rest: conv_row_bundle(cfg, w_in, ow, kw, true),
+            zero_row_first: conv_zero_row_bundle(cfg, ow, false),
+            zero_row_rest: conv_zero_row_bundle(cfg, ow, true),
+        }
+    }
+}
+
+/// Precomputed dense-task bundles.
+#[derive(Clone)]
+struct TailsDenseBundles {
+    shift: OpBundle,
+    finish: OpBundle,
+}
+
+impl TailsDenseBundles {
+    fn new() -> Self {
+        TailsDenseBundles {
+            shift: shift_iter_bundle(),
+            finish: sonic::finish_bundle(true, true),
+        }
+    }
+}
+
 /// Builds the TAILS task graph: calibration first, then one task per
 /// layer; sparse FC, pooling, and ReLU reuse SONIC's software tasks.
 pub fn build(m: &DeployedModel, cfg: TailsConfig, dev: &mut Device) -> TaskGraph<()> {
@@ -545,29 +924,49 @@ pub fn build(m: &DeployedModel, cfg: TailsConfig, dev: &mut Device) -> TaskGraph
         } else {
             Transition::Done
         };
-        let m = m.clone();
         let name = format!("tails-layer{li}");
-        let is_sparse_dense = matches!(
-            &l.kind,
-            DeployedKind::Dense {
-                sparse: Some(_),
-                ..
+        match &l.kind {
+            DeployedKind::Conv { dims, .. } => {
+                let m = m.clone();
+                let (w_in, ow, kw) = (l.in_shape[2], l.out_shape[2], dims[3]);
+                let bundles = TailsConvBundles::new(cfg, w_in, ow, kw);
+                g.add(&name, move |dev, _| {
+                    conv_task(dev, &m, &m.layers[li], sram, cfg, &bundles, self_id, next)
+                });
             }
-        );
-        g.add(&name, move |dev, _| {
-            let l = &m.layers[li];
-            match &l.kind {
-                DeployedKind::Conv { .. } => conv_task(dev, &m, l, sram, cfg, self_id, next),
-                DeployedKind::Dense { .. } if is_sparse_dense => {
-                    // §7.2: sparse FC stays in software, exactly like SONIC.
-                    sonic::sparse_dense_task(dev, &m, l, self_id, next)
-                }
-                DeployedKind::Dense { .. } => dense_task(dev, &m, l, sram, cfg, self_id, next),
-                DeployedKind::Pool { .. } => sonic::pool_task(dev, &m, l, next),
-                DeployedKind::Relu => sonic::relu_task(dev, &m, l, next),
-                DeployedKind::Flatten => Ok(next),
+            DeployedKind::Dense { sparse, .. } if sparse.is_some() => {
+                // §7.2: sparse FC stays in software, exactly like SONIC.
+                let m = m.clone();
+                let bundles = sonic::SparseBundles::new();
+                g.add(&name, move |dev, _| {
+                    sonic::sparse_dense_task(dev, &m, &m.layers[li], &bundles, self_id, next)
+                });
             }
-        });
+            DeployedKind::Dense { .. } => {
+                let m = m.clone();
+                let bundles = TailsDenseBundles::new();
+                g.add(&name, move |dev, _| {
+                    dense_task(dev, &m, &m.layers[li], sram, cfg, &bundles, self_id, next)
+                });
+            }
+            DeployedKind::Pool { kh, kw } => {
+                let m = m.clone();
+                let iter = sonic::pool_iter_bundle(*kh, *kw);
+                g.add(&name, move |dev, _| {
+                    sonic::pool_task(dev, &m, &m.layers[li], &iter, next)
+                });
+            }
+            DeployedKind::Relu => {
+                let m = m.clone();
+                let iter = sonic::relu_iter_bundle();
+                g.add(&name, move |dev, _| {
+                    sonic::relu_task(dev, &m, &m.layers[li], &iter, next)
+                });
+            }
+            DeployedKind::Flatten => {
+                g.add(&name, move |_, _| Ok(next));
+            }
+        }
     }
     g
 }

@@ -13,18 +13,44 @@
 //! A tile that needs more energy than the device buffers never completes:
 //! with large `N` (Tile-128) the scheduler reports non-termination on
 //! small capacitors, exactly as in the paper's Fig. 9.
+//!
+//! # Taped accounting
+//!
+//! An Alpaca task body has no durable side effects before commit — its
+//! writes privatize into the host-side redo log, which a body-time power
+//! failure discards. The bodies therefore execute host-side while
+//! *recording* the exact op sequence they would have consumed onto an
+//! [`mcu::OpBundle`] tape (via the runtime's `*_taped` accessors), and
+//! the graph closure settles the tape in one arithmetic step
+//! ([`mcu::Device::consume_tape`]) — replaying it op-by-op only when the
+//! buffer cannot cover it, so a brown-out charges exactly the scalar
+//! prefix. The commit walk itself (which *does* write home locations)
+//! uses the funded-bundle discipline inside `AlpacaRt::commit`.
 
-use crate::baseline::{charge_finish, unpack_tap};
+use crate::baseline::unpack_tap;
 use crate::deploy::{DeployedKind, DeployedLayer, DeployedModel};
 use dnn::quant::finish_acc;
 use fxp::{Accum, Q15};
 use intermittent::alpaca::AlpacaRt;
 use intermittent::task::{TaskGraph, Transition};
-use mcu::{Device, Op, Phase, PowerFailure};
+use mcu::{Device, FramBuf, Op, OpBundle, Phase};
 
 const ST_ZERO: u16 = 0;
 const ST_ACCUM: u16 = 1;
 const ST_FINISH: u16 = 2;
+
+/// Taped read of read-only metadata (weights, pointers): recorded as one
+/// FRAM read, value fetched host-side.
+#[inline]
+fn read_t(dev: &Device, tape: &mut OpBundle, buf: FramBuf, i: u32) -> Q15 {
+    tape.push(Op::FramRead, Phase::Kernel);
+    dev.prepaid_read(buf, i)
+}
+
+#[inline]
+fn op_t(tape: &mut OpBundle, op: Op) {
+    tape.push(op, Phase::Kernel);
+}
 
 /// Budget-bounded stage driver shared by conv and dense layers.
 ///
@@ -33,13 +59,14 @@ const ST_FINISH: u16 = 2;
 fn accum_layer_tiled(
     dev: &mut Device,
     rt: &mut AlpacaRt,
+    tape: &mut OpBundle,
     m: &DeployedModel,
     l: &DeployedLayer,
     self_id: usize,
     next: Transition,
     tile: u32,
     is_conv: bool,
-) -> Result<Transition, PowerFailure> {
+) -> Transition {
     // Layer geometry.
     let (nf, ntaps_dense, plane): (u32, u32, u32) = match &l.kind {
         DeployedKind::Conv { dims, .. } => (
@@ -56,29 +83,29 @@ fn accum_layer_tiled(
 
     dev.set_context(l.region, Phase::Kernel);
     let mut budget = tile;
-    let mut stage = rt.ts_load_word(dev, l.undo_tag.addr())?;
+    let mut stage = rt.ts_load_word_taped(dev, tape, l.undo_tag.addr());
     if stage > ST_FINISH {
         stage = ST_ZERO; // deploy initializes the word to UNDO_EMPTY
     }
-    let mut f = rt.ts_load_word(dev, l.filt.addr())? as u32;
-    dev.consume(Op::Branch)?;
+    let mut f = rt.ts_load_word_taped(dev, tape, l.filt.addr()) as u32;
+    op_t(tape, Op::Branch);
 
     while budget > 0 {
         match stage {
             ST_ZERO => {
-                let mut i = rt.ts_load_word(dev, l.idx.addr())? as u32;
+                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
                 while i < plane && budget > 0 {
-                    rt.ts_write(dev, acc.addr(i), Q15::ZERO)?;
+                    rt.ts_write_taped(tape, acc.addr(i), Q15::ZERO);
                     i += 1;
                     budget -= 1;
-                    dev.consume(Op::Incr)?;
-                    dev.consume(Op::Branch)?;
+                    op_t(tape, Op::Incr);
+                    op_t(tape, Op::Branch);
                 }
-                rt.ts_store_word(dev, l.idx.addr(), i as u16)?;
+                rt.ts_store_word_taped(tape, l.idx.addr(), i as u16);
                 if i >= plane {
-                    rt.ts_store_word(dev, l.idx.addr(), 0)?;
-                    rt.ts_store_word(dev, l.pos.addr(), 0)?;
-                    rt.ts_store_word(dev, l.undo_tag.addr(), ST_ACCUM)?;
+                    rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+                    rt.ts_store_word_taped(tape, l.pos.addr(), 0);
+                    rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_ACCUM);
                     stage = ST_ACCUM;
                 }
             }
@@ -88,21 +115,21 @@ fn accum_layer_tiled(
                         sparse: Some((row_ptr, _)),
                         ..
                     } => {
-                        let s = dev.read(*row_ptr, f)?.raw() as u16 as u32;
-                        let e = dev.read(*row_ptr, f + 1)?.raw() as u16 as u32;
+                        let s = read_t(dev, tape, *row_ptr, f).raw() as u16 as u32;
+                        let e = read_t(dev, tape, *row_ptr, f + 1).raw() as u16 as u32;
                         e - s
                     }
                     _ => ntaps_dense,
                 };
-                let mut pos = rt.ts_load_word(dev, l.pos.addr())? as u32;
-                dev.consume(Op::Branch)?;
+                let mut pos = rt.ts_load_word_taped(dev, tape, l.pos.addr()) as u32;
+                op_t(tape, Op::Branch);
                 if pos >= ntaps {
-                    rt.ts_store_word(dev, l.idx.addr(), 0)?;
-                    rt.ts_store_word(dev, l.undo_tag.addr(), ST_FINISH)?;
+                    rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+                    rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_FINISH);
                     stage = ST_FINISH;
                     continue;
                 }
-                let mut i = rt.ts_load_word(dev, l.idx.addr())? as u32;
+                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
                 // Resolve the tap (read-only metadata: direct reads).
                 match &l.kind {
                     DeployedKind::Conv {
@@ -116,61 +143,73 @@ fn accum_layer_tiled(
                         let ow = l.out_shape[2];
                         let (wq, c, ky, kx) = match sparse {
                             Some((row_ptr, taps)) => {
-                                let s = dev.read(*row_ptr, f)?.raw() as u16 as u32;
-                                let off = dev.read(*taps, 2 * (s + pos))?.raw() as u16;
-                                dev.consume(Op::Alu)?;
+                                let s = read_t(dev, tape, *row_ptr, f).raw() as u16 as u32;
+                                let off = read_t(dev, tape, *taps, 2 * (s + pos)).raw() as u16;
+                                op_t(tape, Op::Alu);
                                 let (c, ky, kx) = unpack_tap(off, kh, kw);
-                                (dev.read(*taps, 2 * (s + pos) + 1)?, c, ky, kx)
+                                (read_t(dev, tape, *taps, 2 * (s + pos) + 1), c, ky, kx)
                             }
                             None => {
                                 let (c, ky, kx) = unpack_tap(pos as u16, kh, kw);
-                                dev.consume(Op::Alu)?;
-                                (dev.read(*weights, f * ntaps_dense + pos)?, c, ky, kx)
+                                op_t(tape, Op::Alu);
+                                (
+                                    read_t(dev, tape, *weights, f * ntaps_dense + pos),
+                                    c,
+                                    ky,
+                                    kx,
+                                )
                             }
                         };
+                        // Incremental window index (no per-iteration
+                        // div/mod): row_base + ox tracks
+                        // (c·h + oy + ky)·w_in + ox + kx.
+                        let mut ox = i % ow;
+                        let mut row_base = (c * h + i / ow + ky) * w_in + kx;
                         while i < plane && budget > 0 {
-                            let oy = i / ow;
-                            let ox = i % ow;
-                            dev.consume(Op::Alu)?;
+                            op_t(tape, Op::Alu);
                             // Activations are task-shared: reads go through
                             // the log-presence check.
-                            let x =
-                                rt.ts_read(dev, src.addr((c * h + oy + ky) * w_in + ox + kx))?;
-                            dev.consume(Op::FxpMul)?;
-                            dev.consume(Op::FxpAdd)?;
+                            let x = rt.ts_read_taped(dev, tape, src.addr(row_base + ox));
+                            op_t(tape, Op::FxpMul);
+                            op_t(tape, Op::FxpAdd);
                             // In-place accumulate through the redo log.
-                            let cur = rt.ts_read(dev, acc.addr(i))?;
-                            rt.ts_write(dev, acc.addr(i), cur + x * wq)?;
+                            let cur = rt.ts_read_taped(dev, tape, acc.addr(i));
+                            rt.ts_write_taped(tape, acc.addr(i), cur + x * wq);
                             i += 1;
                             budget -= 1;
-                            dev.consume(Op::Incr)?;
-                            dev.consume(Op::Branch)?;
+                            ox += 1;
+                            if ox == ow {
+                                ox = 0;
+                                row_base += w_in;
+                            }
+                            op_t(tape, Op::Incr);
+                            op_t(tape, Op::Branch);
                         }
                     }
                     DeployedKind::Dense { dims, weights, .. } => {
                         let in_n = dims[1];
-                        let x = rt.ts_read(dev, src.addr(pos))?;
+                        let x = rt.ts_read_taped(dev, tape, src.addr(pos));
                         while i < plane && budget > 0 {
-                            dev.consume(Op::Alu)?;
-                            let wq = dev.read(*weights, i * in_n + pos)?;
-                            dev.consume(Op::FxpMul)?;
-                            dev.consume(Op::FxpAdd)?;
-                            let cur = rt.ts_read(dev, acc.addr(i))?;
-                            rt.ts_write(dev, acc.addr(i), cur + x * wq)?;
+                            op_t(tape, Op::Alu);
+                            let wq = read_t(dev, tape, *weights, i * in_n + pos);
+                            op_t(tape, Op::FxpMul);
+                            op_t(tape, Op::FxpAdd);
+                            let cur = rt.ts_read_taped(dev, tape, acc.addr(i));
+                            rt.ts_write_taped(tape, acc.addr(i), cur + x * wq);
                             i += 1;
                             budget -= 1;
-                            dev.consume(Op::Incr)?;
-                            dev.consume(Op::Branch)?;
+                            op_t(tape, Op::Incr);
+                            op_t(tape, Op::Branch);
                         }
                     }
                     _ => unreachable!(),
                 }
                 if i >= plane {
                     pos += 1;
-                    rt.ts_store_word(dev, l.idx.addr(), 0)?;
-                    rt.ts_store_word(dev, l.pos.addr(), pos as u16)?;
+                    rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+                    rt.ts_store_word_taped(tape, l.pos.addr(), pos as u16);
                 } else {
-                    rt.ts_store_word(dev, l.idx.addr(), i as u16)?;
+                    rt.ts_store_word_taped(tape, l.idx.addr(), i as u16);
                 }
             }
             _ => {
@@ -180,56 +219,59 @@ fn accum_layer_tiled(
                     DeployedKind::Dense { bias, shift, .. } => (*bias, *shift),
                     _ => unreachable!(),
                 };
-                let mut i = rt.ts_load_word(dev, l.idx.addr())? as u32;
+                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
                 while i < plane && budget > 0 {
-                    let partial = Accum::from_q15(rt.ts_read(dev, acc.addr(i))?);
+                    let partial = Accum::from_q15(rt.ts_read_taped(dev, tape, acc.addr(i)));
                     let b = if is_conv {
-                        dev.read(bias, f)?
+                        read_t(dev, tape, bias, f)
                     } else {
-                        dev.read(bias, i)?
+                        read_t(dev, tape, bias, i)
                     };
-                    charge_finish(dev)?;
+                    op_t(tape, Op::Alu); // charge_finish: shift
+                    op_t(tape, Op::FxpAdd); // charge_finish: bias add
                     let out_idx = if is_conv { f * plane + i } else { i };
-                    rt.ts_write(dev, dst.addr(out_idx), finish_acc(partial, shift, b))?;
+                    rt.ts_write_taped(tape, dst.addr(out_idx), finish_acc(partial, shift, b));
                     i += 1;
                     budget -= 1;
-                    dev.consume(Op::Incr)?;
-                    dev.consume(Op::Branch)?;
+                    op_t(tape, Op::Incr);
+                    op_t(tape, Op::Branch);
                 }
                 if i >= plane {
                     f += 1;
-                    rt.ts_store_word(dev, l.idx.addr(), 0)?;
-                    dev.consume(Op::Branch)?;
+                    rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+                    op_t(tape, Op::Branch);
                     if f >= nf {
                         // Layer done: reset everything for the next
                         // inference and move on.
-                        rt.ts_store_word(dev, l.filt.addr(), 0)?;
-                        rt.ts_store_word(dev, l.pos.addr(), 0)?;
-                        rt.ts_store_word(dev, l.undo_tag.addr(), ST_ZERO)?;
-                        return Ok(next);
+                        rt.ts_store_word_taped(tape, l.filt.addr(), 0);
+                        rt.ts_store_word_taped(tape, l.pos.addr(), 0);
+                        rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_ZERO);
+                        return next;
                     }
-                    rt.ts_store_word(dev, l.filt.addr(), f as u16)?;
-                    rt.ts_store_word(dev, l.undo_tag.addr(), ST_ZERO)?;
+                    rt.ts_store_word_taped(tape, l.filt.addr(), f as u16);
+                    rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_ZERO);
                     stage = ST_ZERO;
                 } else {
-                    rt.ts_store_word(dev, l.idx.addr(), i as u16)?;
+                    rt.ts_store_word_taped(tape, l.idx.addr(), i as u16);
                 }
             }
         }
     }
-    Ok(Transition::To(self_id))
+    Transition::To(self_id)
 }
 
 /// Sparse FC under Alpaca: the in-place scatter with every access logged.
+#[allow(clippy::too_many_arguments)]
 fn sparse_dense_tiled(
     dev: &mut Device,
     rt: &mut AlpacaRt,
+    tape: &mut OpBundle,
     m: &DeployedModel,
     l: &DeployedLayer,
     self_id: usize,
     next: Transition,
     tile: u32,
-) -> Result<Transition, PowerFailure> {
+) -> Transition {
     let DeployedKind::Dense {
         dims,
         sparse,
@@ -249,99 +291,102 @@ fn sparse_dense_tiled(
 
     dev.set_context(l.region, Phase::Kernel);
     let mut budget = tile;
-    let mut stage = rt.ts_load_word(dev, l.undo_tag.addr())?;
+    let mut stage = rt.ts_load_word_taped(dev, tape, l.undo_tag.addr());
     if stage > ST_FINISH {
         stage = ST_ZERO; // deploy initializes the word to UNDO_EMPTY
     }
-    dev.consume(Op::Branch)?;
+    op_t(tape, Op::Branch);
     match stage {
         ST_ZERO => {
-            let mut i = rt.ts_load_word(dev, l.idx.addr())? as u32;
+            let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
             while i < out_n && budget > 0 {
-                rt.ts_write(dev, acc.addr(i), Q15::ZERO)?;
+                rt.ts_write_taped(tape, acc.addr(i), Q15::ZERO);
                 i += 1;
                 budget -= 1;
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
+                op_t(tape, Op::Incr);
+                op_t(tape, Op::Branch);
             }
             if i >= out_n {
-                rt.ts_store_word(dev, l.idx.addr(), 0)?;
-                rt.ts_store_word(dev, l.pos.addr(), 0)?;
-                rt.ts_store_word(dev, l.undo_tag.addr(), ST_ACCUM)?;
+                rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+                rt.ts_store_word_taped(tape, l.pos.addr(), 0);
+                rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_ACCUM);
             } else {
-                rt.ts_store_word(dev, l.idx.addr(), i as u16)?;
+                rt.ts_store_word_taped(tape, l.idx.addr(), i as u16);
             }
-            Ok(Transition::To(self_id))
+            Transition::To(self_id)
         }
         ST_ACCUM => {
-            let mut k = rt.ts_load_word(dev, l.idx.addr())? as u32;
-            let mut j = rt.ts_load_word(dev, l.pos.addr())? as u32;
-            let mut x = rt.ts_read(dev, src.addr(j.min(dims[1] - 1)))?;
+            let mut k = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
+            let mut j = rt.ts_load_word_taped(dev, tape, l.pos.addr()) as u32;
+            let mut x = rt.ts_read_taped(dev, tape, src.addr(j.min(dims[1] - 1)));
             while k < nnz && budget > 0 {
-                dev.consume(Op::Branch)?;
-                while (dev.read(*col_ptr, j + 1)?.raw() as u16 as u32) <= k {
+                op_t(tape, Op::Branch);
+                while (read_t(dev, tape, *col_ptr, j + 1).raw() as u16 as u32) <= k {
                     j += 1;
-                    dev.consume(Op::Incr)?;
-                    x = rt.ts_read(dev, src.addr(j))?;
+                    op_t(tape, Op::Incr);
+                    x = rt.ts_read_taped(dev, tape, src.addr(j));
                 }
-                let o = dev.read(*entries, 2 * k)?.raw() as u16 as u32;
-                let wq = dev.read(*entries, 2 * k + 1)?;
-                dev.consume(Op::FxpMul)?;
-                dev.consume(Op::FxpAdd)?;
-                let cur = rt.ts_read(dev, acc.addr(o))?;
-                rt.ts_write(dev, acc.addr(o), cur + x * wq)?;
+                let o = read_t(dev, tape, *entries, 2 * k).raw() as u16 as u32;
+                let wq = read_t(dev, tape, *entries, 2 * k + 1);
+                op_t(tape, Op::FxpMul);
+                op_t(tape, Op::FxpAdd);
+                let cur = rt.ts_read_taped(dev, tape, acc.addr(o));
+                rt.ts_write_taped(tape, acc.addr(o), cur + x * wq);
                 k += 1;
                 budget -= 1;
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
+                op_t(tape, Op::Incr);
+                op_t(tape, Op::Branch);
             }
-            rt.ts_store_word(dev, l.pos.addr(), j as u16)?;
+            rt.ts_store_word_taped(tape, l.pos.addr(), j as u16);
             if k >= nnz {
-                rt.ts_store_word(dev, l.idx.addr(), 0)?;
-                rt.ts_store_word(dev, l.undo_tag.addr(), ST_FINISH)?;
+                rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+                rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_FINISH);
             } else {
-                rt.ts_store_word(dev, l.idx.addr(), k as u16)?;
+                rt.ts_store_word_taped(tape, l.idx.addr(), k as u16);
             }
-            Ok(Transition::To(self_id))
+            Transition::To(self_id)
         }
         _ => {
-            let mut o = rt.ts_load_word(dev, l.idx.addr())? as u32;
+            let mut o = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
             while o < out_n && budget > 0 {
-                let partial = Accum::from_q15(rt.ts_read(dev, acc.addr(o))?);
-                let b = dev.read(*bias, o)?;
-                charge_finish(dev)?;
-                rt.ts_write(dev, dst.addr(o), finish_acc(partial, *shift, b))?;
+                let partial = Accum::from_q15(rt.ts_read_taped(dev, tape, acc.addr(o)));
+                let b = read_t(dev, tape, *bias, o);
+                op_t(tape, Op::Alu); // charge_finish: shift
+                op_t(tape, Op::FxpAdd); // charge_finish: bias add
+                rt.ts_write_taped(tape, dst.addr(o), finish_acc(partial, *shift, b));
                 o += 1;
                 budget -= 1;
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
+                op_t(tape, Op::Incr);
+                op_t(tape, Op::Branch);
             }
             if o >= out_n {
-                rt.ts_store_word(dev, l.idx.addr(), 0)?;
-                rt.ts_store_word(dev, l.pos.addr(), 0)?;
-                rt.ts_store_word(dev, l.undo_tag.addr(), ST_ZERO)?;
-                Ok(next)
+                rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+                rt.ts_store_word_taped(tape, l.pos.addr(), 0);
+                rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_ZERO);
+                next
             } else {
-                rt.ts_store_word(dev, l.idx.addr(), o as u16)?;
-                Ok(Transition::To(self_id))
+                rt.ts_store_word_taped(tape, l.idx.addr(), o as u16);
+                Transition::To(self_id)
             }
         }
     }
 }
 
 /// Pool/ReLU under Alpaca: tiled loops with logged writes.
+#[allow(clippy::too_many_arguments)]
 fn map_layer_tiled(
     dev: &mut Device,
     rt: &mut AlpacaRt,
+    tape: &mut OpBundle,
     m: &DeployedModel,
     l: &DeployedLayer,
     self_id: usize,
     next: Transition,
     tile: u32,
-) -> Result<Transition, PowerFailure> {
+) -> Transition {
     dev.set_context(l.region, Phase::Kernel);
     let mut budget = tile;
-    let mut i = rt.ts_load_word(dev, l.idx.addr())? as u32;
+    let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
     match l.kind {
         DeployedKind::Pool { kh, kw } => {
             let [c, h, w] = l.in_shape;
@@ -356,21 +401,21 @@ fn map_layer_tiled(
                 let mut best = Q15::MIN;
                 for py in 0..kh {
                     for px in 0..kw {
-                        dev.consume(Op::Alu)?;
-                        let v = dev.read(src, (ch * h + oy * kh + py) * w + ox * kw + px)?;
-                        dev.consume(Op::Branch)?;
+                        op_t(tape, Op::Alu);
+                        let v = read_t(dev, tape, src, (ch * h + oy * kh + py) * w + ox * kw + px);
+                        op_t(tape, Op::Branch);
                         if v > best {
                             best = v;
                         }
                     }
                 }
-                rt.ts_write(dev, dst.addr(i), best)?;
+                rt.ts_write_taped(tape, dst.addr(i), best);
                 i += 1;
                 budget -= 1;
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
+                op_t(tape, Op::Incr);
+                op_t(tape, Op::Branch);
             }
-            finish_map(dev, rt, l, i, total, self_id, next)
+            finish_map(rt, tape, l, i, total, self_id, next)
         }
         DeployedKind::Relu => {
             let [c, h, w] = l.in_shape;
@@ -379,36 +424,36 @@ fn map_layer_tiled(
             while i < total && budget > 0 {
                 // Read-then-write of the same location: both sides go
                 // through the log (the WAR pair Alpaca exists for).
-                let v = rt.ts_read(dev, buf.addr(i))?;
-                dev.consume(Op::Branch)?;
-                rt.ts_write(dev, buf.addr(i), v.relu())?;
+                let v = rt.ts_read_taped(dev, tape, buf.addr(i));
+                op_t(tape, Op::Branch);
+                rt.ts_write_taped(tape, buf.addr(i), v.relu());
                 i += 1;
                 budget -= 1;
-                dev.consume(Op::Incr)?;
-                dev.consume(Op::Branch)?;
+                op_t(tape, Op::Incr);
+                op_t(tape, Op::Branch);
             }
-            finish_map(dev, rt, l, i, total, self_id, next)
+            finish_map(rt, tape, l, i, total, self_id, next)
         }
-        DeployedKind::Flatten => Ok(next),
+        DeployedKind::Flatten => next,
         _ => unreachable!("map layer on accum kind"),
     }
 }
 
 fn finish_map(
-    dev: &mut Device,
     rt: &mut AlpacaRt,
+    tape: &mut OpBundle,
     l: &DeployedLayer,
     i: u32,
     total: u32,
     self_id: usize,
     next: Transition,
-) -> Result<Transition, PowerFailure> {
+) -> Transition {
     if i >= total {
-        rt.ts_store_word(dev, l.idx.addr(), 0)?;
-        Ok(next)
+        rt.ts_store_word_taped(tape, l.idx.addr(), 0);
+        next
     } else {
-        rt.ts_store_word(dev, l.idx.addr(), i as u16)?;
-        Ok(Transition::To(self_id))
+        rt.ts_store_word_taped(tape, l.idx.addr(), i as u16);
+        Transition::To(self_id)
     }
 }
 
@@ -433,17 +478,25 @@ pub fn build(m: &DeployedModel, tile: u32) -> TaskGraph<AlpacaRt> {
         };
         g.add(&name, move |dev, rt| {
             let l = &m.layers[li];
-            match (kind_tag, &l.kind) {
-                (0, _) => accum_layer_tiled(dev, rt, &m, l, self_id, next, tile, true),
+            // The body executes host-side, recording its op sequence;
+            // the settle below charges it (or replays it scalar-wise to
+            // the exact brown-out op on a shortfall).
+            let mut tape = rt.take_tape();
+            let t = match (kind_tag, &l.kind) {
+                (0, _) => accum_layer_tiled(dev, rt, &mut tape, &m, l, self_id, next, tile, true),
                 (1, DeployedKind::Dense { sparse, .. }) => {
                     if sparse.is_some() {
-                        sparse_dense_tiled(dev, rt, &m, l, self_id, next, tile)
+                        sparse_dense_tiled(dev, rt, &mut tape, &m, l, self_id, next, tile)
                     } else {
-                        accum_layer_tiled(dev, rt, &m, l, self_id, next, tile, false)
+                        accum_layer_tiled(dev, rt, &mut tape, &m, l, self_id, next, tile, false)
                     }
                 }
-                _ => map_layer_tiled(dev, rt, &m, l, self_id, next, tile),
-            }
+                _ => map_layer_tiled(dev, rt, &mut tape, &m, l, self_id, next, tile),
+            };
+            let settled = dev.consume_tape(&tape);
+            rt.put_tape(tape);
+            settled?;
+            Ok(t)
         });
     }
     if n == 0 {

@@ -24,8 +24,41 @@
 
 use crate::task::{RuntimeCtx, TaskGraph, TaskId, Transition};
 use fxp::Q15;
-use mcu::{AllocError, Device, FramWord, NvAddr, Op, PowerFailure};
+use mcu::{AllocError, Device, FramWord, NvAddr, Op, OpBundle, Phase, PowerFailure};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for the redo log's word addresses. `NvAddr`
+/// is a dense `u32` FRAM index; SipHash's DoS hardening is wasted on it,
+/// and the log lookup is the hottest host-side operation in every tiled
+/// simulation (three probes per loop iteration).
+#[derive(Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (not used by NvAddr's derived Hash).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        // Fibonacci multiplicative mix: full 64-bit avalanche is not
+        // needed, HashMap uses the top bits.
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type AddrMap = HashMap<NvAddr, Q15, BuildHasherDefault<AddrHasher>>;
 
 /// FRAM words written when a log entry is created (20-bit address pair,
 /// value, bucket link, dirty-list link, size tag, canonical pointer).
@@ -55,10 +88,26 @@ pub const COMMIT_FIXED_READS: u64 = 30;
 /// the commit flag, exactly as in Alpaca's two-phase commit.
 #[derive(Debug)]
 pub struct AlpacaRt {
-    log: HashMap<NvAddr, Q15>,
+    log: AddrMap,
     order: Vec<NvAddr>,
     commit_flag: FramWord,
     committing: bool,
+    /// Scratch op tape reused across task bodies (capacity persists).
+    tape: OpBundle,
+    /// Per-log-entry commit-walk bundles, one per accounting phase the
+    /// commit may run under (built once; commits happen every task
+    /// transition).
+    commit_entry: [OpBundle; 2],
+}
+
+/// The op sequence of committing one log entry: entry read (address +
+/// value), home write, list-cursor updates.
+fn commit_entry_bundle(phase: Phase) -> OpBundle {
+    let mut b = OpBundle::new();
+    b.push_n(Op::FramRead, phase, 2);
+    b.push(Op::FramWrite, phase);
+    b.push_n(Op::Incr, phase, 2);
+    b
 }
 
 impl AlpacaRt {
@@ -69,16 +118,94 @@ impl AlpacaRt {
     /// Returns [`AllocError`] if FRAM is exhausted.
     pub fn new(dev: &mut Device) -> Result<Self, AllocError> {
         Ok(AlpacaRt {
-            log: HashMap::new(),
+            log: AddrMap::default(),
             order: Vec::new(),
             commit_flag: dev.fram_alloc_word()?,
             committing: false,
+            tape: OpBundle::new(),
+            commit_entry: [
+                commit_entry_bundle(Phase::Kernel),
+                commit_entry_bundle(Phase::Control),
+            ],
         })
     }
 
     /// Number of live log entries (distinct privatized words).
     pub fn log_len(&self) -> usize {
         self.log.len()
+    }
+
+    // ----- taped access (bundled accounting) ---------------------------
+    //
+    // An Alpaca task body has NO durable side effects before commit: its
+    // writes privatize into the (host-side) redo log, which a body-time
+    // power failure discards anyway. That makes the body eligible for op
+    // *taping*: it executes host-side, recording the exact op sequence it
+    // would have consumed, and settles the tape in one arithmetic step at
+    // the end ([`Device::consume_tape`]) — with a scalar op-by-op replay
+    // when the buffer cannot cover it, so a brown-out charges exactly the
+    // scalar prefix. Taped methods record at the kernel phase, matching
+    // the tiled kernels that use them.
+
+    fn tape_lookup(tape: &mut OpBundle) {
+        tape.push_n(Op::FramRead, Phase::Kernel, LOOKUP_READS);
+        tape.push_n(Op::Alu, Phase::Kernel, LOOKUP_ALU);
+    }
+
+    /// Taped [`AlpacaRt::ts_read`]: records the ops, returns the value.
+    pub fn ts_read_taped(&mut self, dev: &Device, tape: &mut OpBundle, addr: NvAddr) -> Q15 {
+        Self::tape_lookup(tape);
+        // Hit pays a log-entry read, miss the home read: one FramRead
+        // either way.
+        tape.push(Op::FramRead, Phase::Kernel);
+        if let Some(&v) = self.log.get(&addr) {
+            v
+        } else {
+            dev.peek_at(addr)
+        }
+    }
+
+    /// Taped [`AlpacaRt::ts_write`]: records the ops, privatizes eagerly
+    /// (a failed settle discards the log on restart, like the scalar
+    /// path).
+    pub fn ts_write_taped(&mut self, tape: &mut OpBundle, addr: NvAddr, v: Q15) {
+        Self::tape_lookup(tape);
+        match self.log.entry(addr) {
+            Entry::Occupied(mut e) => {
+                tape.push_n(Op::FramWrite, Phase::Kernel, 2); // value + dirty flag
+                tape.push(Op::Alu, Phase::Kernel);
+                e.insert(v);
+            }
+            Entry::Vacant(e) => {
+                tape.push_n(Op::FramWrite, Phase::Kernel, LOG_ENTRY_WORDS);
+                tape.push_n(Op::Alu, Phase::Kernel, LOOKUP_ALU);
+                self.order.push(addr);
+                e.insert(v);
+            }
+        }
+    }
+
+    /// Taped [`AlpacaRt::ts_load_word`].
+    pub fn ts_load_word_taped(&mut self, dev: &Device, tape: &mut OpBundle, addr: NvAddr) -> u16 {
+        self.ts_read_taped(dev, tape, addr).raw() as u16
+    }
+
+    /// Taped [`AlpacaRt::ts_store_word`].
+    pub fn ts_store_word_taped(&mut self, tape: &mut OpBundle, addr: NvAddr, v: u16) {
+        self.ts_write_taped(tape, addr, Q15::from_raw(v as i16));
+    }
+
+    /// Borrows the reusable scratch tape out of the runtime (cleared),
+    /// sidestepping the double-borrow of `rt` and `tape` in task bodies.
+    pub fn take_tape(&mut self) -> OpBundle {
+        let mut t = std::mem::take(&mut self.tape);
+        t.clear();
+        t
+    }
+
+    /// Returns the scratch tape after settling.
+    pub fn put_tape(&mut self, tape: OpBundle) {
+        self.tape = tape;
     }
 
     fn charge_lookup(&self, dev: &mut Device) -> Result<(), PowerFailure> {
@@ -165,13 +292,31 @@ impl RuntimeCtx for AlpacaRt {
         dev.consume_n(Op::FramRead, COMMIT_FIXED_READS)?;
         // Walk the log in append order; replay after a failure re-walks the
         // whole list, which is idempotent because entries hold absolute
-        // values.
-        for i in 0..self.order.len() {
-            let addr = self.order[i];
-            let v = self.log[&addr];
-            dev.consume_n(Op::FramRead, 2)?; // read entry (address + value)
-            dev.write_at(addr, v)?; // write home location
-            dev.consume_n(Op::Incr, 2)?; // list cursor + canonical update
+        // values. The walk is uniform per entry — entry read (address +
+        // value), home write, cursor updates — so it charges per entry
+        // via a bundle; the first unfunded entry replays scalar-wise so a
+        // mid-commit brown-out leaves exactly the scalar path's partial
+        // home writes.
+        let entry = match dev.context().1 {
+            Phase::Kernel => &self.commit_entry[0],
+            Phase::Control => &self.commit_entry[1],
+        };
+        let total = self.order.len();
+        let mut i = 0usize;
+        while i < total {
+            let funded = dev.consume_bundle(entry, (total - i) as u64)? as usize;
+            for addr in &self.order[i..i + funded] {
+                dev.prepaid_write_at(*addr, self.log[addr]);
+            }
+            i += funded;
+            if i < total {
+                let addr = self.order[i];
+                let v = self.log[&addr];
+                dev.consume_n(Op::FramRead, 2)?; // read entry (address + value)
+                dev.write_at(addr, v)?; // write home location
+                dev.consume_n(Op::Incr, 2)?; // list cursor + canonical update
+                i += 1;
+            }
         }
         Ok(())
     }

@@ -19,9 +19,12 @@
 //! by counting consecutive reboots with no forward progress, where progress
 //! is either a completed task transition or an explicit
 //! [`Device::mark_progress`] beacon (SONIC pings one per committed loop
-//! iteration). Runs that exceed the limit return
-//! [`RunError::NonTermination`], which the experiment harness reports as
-//! "does not complete" — the grey bars of the paper's Fig. 9.
+//! iteration; under bundled accounting a funded run of iterations posts
+//! the same number of beacons at once via [`Device::mark_progress_n`],
+//! so the count the detector compares is identical). Runs that exceed
+//! the limit return [`RunError::NonTermination`], which the experiment
+//! harness reports as "does not complete" — the grey bars of the paper's
+//! Fig. 9.
 
 use crate::task::{RuntimeCtx, TaskGraph, TaskId, Transition};
 use mcu::{Device, Op, Phase};

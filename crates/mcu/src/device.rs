@@ -20,6 +20,7 @@
 //! word-level write atomicity on real hardware. There is no atomicity
 //! across words: multi-word structures can be torn by a power failure.
 
+use crate::bundle::OpBundle;
 use crate::power::PowerSystem;
 use crate::spec::{DeviceSpec, Op};
 use crate::trace::{Phase, RegionId, Trace, TraceReport};
@@ -331,14 +332,22 @@ impl Device {
     /// remaining charge; the ones that fit are still charged (they executed
     /// before the failure).
     pub fn consume_n(&mut self, op: Op, n: u64) -> Result<(), PowerFailure> {
+        let phase = self.phase;
+        self.consume_upto_at(op, phase, n).1
+    }
+
+    /// Like [`Device::consume_n`] but at an explicit accounting phase,
+    /// reporting how many of the `n` operations were charged before any
+    /// failure. The backbone of every span-charged accessor.
+    fn consume_upto_at(&mut self, op: Op, phase: Phase, n: u64) -> (u64, Result<(), PowerFailure>) {
         if !self.on {
-            return Err(PowerFailure);
+            return (0, Err(PowerFailure));
         }
         let cost = self.spec.costs.cost(op);
         match &self.power {
             PowerSystem::Continuous => {
-                self.trace.charge(self.region, self.phase, op, n, cost);
-                Ok(())
+                self.trace.charge(self.region, phase, op, n, cost);
+                (n, Ok(()))
             }
             PowerSystem::Harvested(_) => {
                 let per = cost.energy_pj;
@@ -353,20 +362,142 @@ impl Device {
                 // the documented free-execution path.
                 let fit = self.charge_pj.checked_div(per).map_or(n, |q| q.min(n));
                 if fit > 0 {
-                    self.trace.charge(self.region, self.phase, op, fit, cost);
+                    self.trace.charge(self.region, phase, op, fit, cost);
                     self.charge_pj -= fit * per;
                 }
                 if fit == n {
-                    Ok(())
+                    (fit, Ok(()))
                 } else {
                     // The interrupted operation's residual charge is wasted
                     // in the brown-out.
                     self.charge_pj = 0;
                     self.on = false;
-                    Err(PowerFailure)
+                    (fit, Err(PowerFailure))
                 }
             }
         }
+    }
+
+    /// Span variant of [`Device::consume_n`] at the current phase.
+    fn consume_upto(&mut self, op: Op, n: u64) -> (u64, Result<(), PowerFailure>) {
+        let phase = self.phase;
+        self.consume_upto_at(op, phase, n)
+    }
+
+    // ----- bundled op accounting (see [`crate::bundle`]) ---------------
+
+    /// Charges up to `n_iters` whole iterations of `bundle` in one
+    /// arithmetic step, returning how many complete iterations the
+    /// remaining buffer funded (always `n_iters` on continuous power).
+    ///
+    /// The funded count is exactly the number of complete iterations the
+    /// scalar path (one [`Device::consume`] per op) would have executed:
+    /// per-op energies are non-negative, so a buffer that covers an
+    /// iteration's total covers every prefix of it. When the return value
+    /// is less than `n_iters` the device is still **on**, with less than
+    /// one iteration's energy remaining — the caller must replay the next
+    /// iteration through its scalar code path, which browns out on
+    /// exactly the same op, with exactly the same partial memory effects,
+    /// as an all-scalar execution. The `prepaid_*` accessors perform the
+    /// memory effects of the iterations charged here.
+    ///
+    /// Ops are charged to the device's current region at each entry's own
+    /// phase; trace cells are order-independent accumulators, so bulk
+    /// totals are bit-identical to interleaved scalar charges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] only when the device is already off.
+    pub fn consume_bundle(&mut self, bundle: &OpBundle, n_iters: u64) -> Result<u64, PowerFailure> {
+        if !self.on {
+            return Err(PowerFailure);
+        }
+        if n_iters == 0 || bundle.is_empty() {
+            return Ok(n_iters);
+        }
+        let fit = match &self.power {
+            PowerSystem::Continuous => n_iters,
+            PowerSystem::Harvested(_) => {
+                let (_, per_iter) = bundle.iter_cost(&self.spec.costs);
+                #[cfg(debug_assertions)]
+                for e in bundle.ops() {
+                    let c = self.spec.costs.cost(e.op);
+                    debug_assert!(
+                        c.energy_pj > 0 || c.cycles == 0,
+                        "bundled op {:?} costs {} cycles but zero energy (fix the \
+                         cost table)",
+                        e.op,
+                        c.cycles
+                    );
+                }
+                // `checked_div` is `None` exactly when the whole iteration
+                // is free: zero-energy ops execute without limit.
+                let fit = self
+                    .charge_pj
+                    .checked_div(per_iter)
+                    .map_or(n_iters, |q| q.min(n_iters));
+                self.charge_pj -= fit * per_iter;
+                fit
+            }
+        };
+        if fit > 0 {
+            // Trace cells are plain accumulators, so charging the ordered
+            // sequence and charging aggregate counts are bit-identical.
+            // Small bundles (a loop iteration) walk their few entries;
+            // long recorded tapes charge per (phase, op) cell so settling
+            // stays O(op classes) regardless of tape length.
+            if bundle.ops().len() <= 2 * Op::COUNT {
+                for e in bundle.ops() {
+                    let cost = self.spec.costs.cost(e.op);
+                    self.trace
+                        .charge(self.region, e.phase, e.op, e.count * fit, cost);
+                }
+            } else {
+                for phase in Phase::ALL {
+                    for op in Op::ALL {
+                        let n = bundle.count(phase, op);
+                        if n > 0 {
+                            let cost = self.spec.costs.cost(op);
+                            self.trace.charge(self.region, phase, op, n * fit, cost);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(fit)
+    }
+
+    /// Settles a recorded op tape: one bulk charge when the buffer covers
+    /// it, otherwise an op-by-op replay of the ordered sequence so the
+    /// brown-out lands on exactly the op the scalar execution would have
+    /// died on.
+    ///
+    /// For loop bodies whose op sequence is data-dependent but which have
+    /// no durable side effects before a later commit (the Alpaca redo-log
+    /// bodies): the body executes host-side while recording every op it
+    /// would have consumed, then settles the tape once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] when the tape does not fit the remaining
+    /// charge (the portion that fits is charged, exactly as the scalar
+    /// execution would have before dying) or the device is off.
+    pub fn consume_tape(&mut self, tape: &OpBundle) -> Result<(), PowerFailure> {
+        if self.consume_bundle(tape, 1)? == 1 {
+            return Ok(());
+        }
+        // Shortfall: the replay below must brown out before completing,
+        // charging exactly the scalar prefix.
+        for e in tape.ops() {
+            self.consume_upto_at(e.op, e.phase, e.count).1?;
+        }
+        Ok(())
+    }
+
+    /// Adds `n` forward-progress beacons at once (the bundled counterpart
+    /// of calling [`Device::mark_progress`] per loop iteration).
+    pub fn mark_progress_n(&mut self, n: u64) {
+        self.trace.mark_progress_n(n);
     }
 
     /// Recharges the buffer and reboots the device after a power failure:
@@ -650,6 +781,203 @@ impl Device {
         Q15::from_raw(self.fram[addr.0 as usize])
     }
 
+    // ----- pre-charged access (bundled accounting) ---------------------
+    //
+    // Companions to [`Device::consume_bundle`]: the bundle charged the
+    // memory ops of `fit` whole iterations in bulk, so the iterations'
+    // data movement happens through these unmetered accessors. Using them
+    // without a matching bundle charge breaks the energy model — the
+    // differential `bundles` test suite exists to catch exactly that.
+
+    /// Pre-charged FRAM read (energy already charged via a bundle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn prepaid_read(&self, buf: FramBuf, i: u32) -> Q15 {
+        assert!(i < buf.len, "FRAM read out of bounds: {i} >= {}", buf.len);
+        Q15::from_raw(self.fram[(buf.base + i) as usize])
+    }
+
+    /// Pre-charged FRAM write (energy already charged via a bundle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn prepaid_write(&mut self, buf: FramBuf, i: u32, v: Q15) {
+        assert!(i < buf.len, "FRAM write out of bounds: {i} >= {}", buf.len);
+        self.fram[(buf.base + i) as usize] = v.raw();
+    }
+
+    /// Pre-charged SRAM read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn prepaid_sram_read(&self, buf: SramBuf, i: u32) -> Q15 {
+        assert!(i < buf.len, "SRAM read out of bounds: {i} >= {}", buf.len);
+        Q15::from_raw(self.sram[(buf.base + i) as usize])
+    }
+
+    /// Pre-charged SRAM write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for `buf`.
+    #[inline]
+    pub fn prepaid_sram_write(&mut self, buf: SramBuf, i: u32, v: Q15) {
+        assert!(i < buf.len, "SRAM write out of bounds: {i} >= {}", buf.len);
+        self.sram[(buf.base + i) as usize] = v.raw();
+    }
+
+    /// Pre-charged read of a FRAM counter word.
+    #[inline]
+    pub fn prepaid_load_word(&self, w: FramWord) -> u16 {
+        self.fram[w.addr as usize] as u16
+    }
+
+    /// Pre-charged write of a FRAM counter word.
+    #[inline]
+    pub fn prepaid_store_word(&mut self, w: FramWord, v: u16) {
+        self.fram[w.addr as usize] = v as i16;
+    }
+
+    /// Pre-charged write of a raw FRAM address.
+    #[inline]
+    pub fn prepaid_write_at(&mut self, addr: NvAddr, v: Q15) {
+        self.fram[addr.0 as usize] = v.raw();
+    }
+
+    // ----- span-charged block access -----------------------------------
+
+    /// Reads `out.len()` consecutive FRAM words starting at
+    /// `buf[offset]`, charging the whole span with one arithmetic step.
+    ///
+    /// Bit-identical to a read-one-word-at-a-time loop: on a brown-out
+    /// the reads that fit were charged (and delivered — though the `?` on
+    /// the error usually drops them, matching volatile loss).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] when the span does not fit the remaining
+    /// charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + out.len()` exceeds the buffer.
+    pub fn fram_read_block(
+        &mut self,
+        buf: FramBuf,
+        offset: u32,
+        out: &mut [Q15],
+    ) -> Result<(), PowerFailure> {
+        let len = out.len() as u32;
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= buf.len),
+            "FRAM block read out of bounds: {offset}+{len} > {}",
+            buf.len
+        );
+        let (fit, r) = self.consume_upto(Op::FramRead, len as u64);
+        let base = (buf.base + offset) as usize;
+        for (i, slot) in out.iter_mut().take(fit as usize).enumerate() {
+            *slot = Q15::from_raw(self.fram[base + i]);
+        }
+        r
+    }
+
+    /// Writes `data` to consecutive FRAM words starting at `buf[offset]`,
+    /// charging the whole span with one arithmetic step. On a brown-out
+    /// exactly the words that fit are written (word-granular atomicity,
+    /// like the scalar loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] when the span does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + data.len()` exceeds the buffer.
+    pub fn fram_write_block(
+        &mut self,
+        buf: FramBuf,
+        offset: u32,
+        data: &[Q15],
+    ) -> Result<(), PowerFailure> {
+        let len = data.len() as u32;
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= buf.len),
+            "FRAM block write out of bounds: {offset}+{len} > {}",
+            buf.len
+        );
+        let (fit, r) = self.consume_upto(Op::FramWrite, len as u64);
+        let base = (buf.base + offset) as usize;
+        for (i, q) in data.iter().take(fit as usize).enumerate() {
+            self.fram[base + i] = q.raw();
+        }
+        r
+    }
+
+    /// Block SRAM read; see [`Device::fram_read_block`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] when the span does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + out.len()` exceeds the buffer.
+    pub fn sram_read_block(
+        &mut self,
+        buf: SramBuf,
+        offset: u32,
+        out: &mut [Q15],
+    ) -> Result<(), PowerFailure> {
+        let len = out.len() as u32;
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= buf.len),
+            "SRAM block read out of bounds: {offset}+{len} > {}",
+            buf.len
+        );
+        let (fit, r) = self.consume_upto(Op::SramRead, len as u64);
+        let base = (buf.base + offset) as usize;
+        for (i, slot) in out.iter_mut().take(fit as usize).enumerate() {
+            *slot = Q15::from_raw(self.sram[base + i]);
+        }
+        r
+    }
+
+    /// Block SRAM write; see [`Device::fram_write_block`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] when the span does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + data.len()` exceeds the buffer.
+    pub fn sram_write_block(
+        &mut self,
+        buf: SramBuf,
+        offset: u32,
+        data: &[Q15],
+    ) -> Result<(), PowerFailure> {
+        let len = data.len() as u32;
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= buf.len),
+            "SRAM block write out of bounds: {offset}+{len} > {}",
+            buf.len
+        );
+        let (fit, r) = self.consume_upto(Op::SramWrite, len as u64);
+        let base = (buf.base + offset) as usize;
+        for (i, q) in data.iter().take(fit as usize).enumerate() {
+            self.sram[base + i] = q.raw();
+        }
+        r
+    }
+
     // ----- unmetered host ports (the "measurement MCU") ----------------
 
     /// Installs data into FRAM without consuming energy, like flashing the
@@ -708,11 +1036,13 @@ impl Device {
     pub fn dma_fram_to_sram(&mut self, src: FramBuf, dst: SramBuf) -> Result<(), PowerFailure> {
         assert_eq!(src.len, dst.len, "dma: length mismatch");
         self.consume(Op::DmaSetup)?;
-        for i in 0..src.len {
-            self.consume(Op::DmaWord)?;
-            self.sram[(dst.base + i) as usize] = self.fram[(src.base + i) as usize];
-        }
-        Ok(())
+        // Span-charged: one arithmetic step funds the transfer, and on a
+        // brown-out exactly the words that fit have moved — identical to
+        // the historical consume-per-word loop.
+        let (fit, r) = self.consume_upto(Op::DmaWord, src.len as u64);
+        let (s, d, n) = (src.base as usize, dst.base as usize, fit as usize);
+        self.sram[d..d + n].copy_from_slice(&self.fram[s..s + n]);
+        r
     }
 
     /// DMA block copy SRAM → FRAM. A brown-out mid-transfer leaves a
@@ -729,11 +1059,10 @@ impl Device {
     pub fn dma_sram_to_fram(&mut self, src: SramBuf, dst: FramBuf) -> Result<(), PowerFailure> {
         assert_eq!(src.len, dst.len, "dma: length mismatch");
         self.consume(Op::DmaSetup)?;
-        for i in 0..src.len {
-            self.consume(Op::DmaWord)?;
-            self.fram[(dst.base + i) as usize] = self.sram[(src.base + i) as usize];
-        }
-        Ok(())
+        let (fit, r) = self.consume_upto(Op::DmaWord, src.len as u64);
+        let (s, d, n) = (src.base as usize, dst.base as usize, fit as usize);
+        self.fram[d..d + n].copy_from_slice(&self.sram[s..s + n]);
+        r
     }
 
     // ----- LEA ----------------------------------------------------------
@@ -1138,6 +1467,254 @@ mod tests {
             (second_dead - full).abs() < 1e-6,
             "lit-window recharge matches constant power: {second_dead} vs {full}"
         );
+    }
+
+    /// The canonical SONIC-ish loop iteration used by the differential
+    /// bundle tests: mixed phases, mixed op classes.
+    fn test_iteration() -> Vec<(Op, Phase)> {
+        vec![
+            (Op::Alu, Phase::Kernel),
+            (Op::FramRead, Phase::Kernel),
+            (Op::FxpMul, Phase::Kernel),
+            (Op::FramWrite, Phase::Kernel),
+            (Op::FramWrite, Phase::Control),
+            (Op::Incr, Phase::Kernel),
+            (Op::Branch, Phase::Kernel),
+        ]
+    }
+
+    /// Runs `iters` iterations of the scalar path, one consume per op,
+    /// stopping at the brown-out. Returns the consumed-op count at death.
+    fn run_scalar(dev: &mut Device, seq: &[(Op, Phase)], iters: u64) -> Result<(), PowerFailure> {
+        let region = dev.context().0;
+        for _ in 0..iters {
+            for &(op, phase) in seq {
+                dev.set_context(region, phase);
+                dev.consume(op)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the same workload through consume_bundle plus the documented
+    /// scalar replay of the final partial iteration.
+    fn run_bundled(dev: &mut Device, seq: &[(Op, Phase)], iters: u64) -> Result<(), PowerFailure> {
+        let mut bundle = OpBundle::new();
+        for &(op, phase) in seq {
+            bundle.push(op, phase);
+        }
+        let mut done = 0;
+        while done < iters {
+            let funded = dev.consume_bundle(&bundle, iters - done)?;
+            done += funded;
+            if done < iters {
+                // Partial iteration: scalar replay, browns out mid-way.
+                run_scalar(dev, seq, 1)?;
+                done += 1; // unreachable (the replay must fail)
+            }
+        }
+        Ok(())
+    }
+
+    fn assert_traces_identical(a: &Device, b: &Device) {
+        assert_eq!(a.charge_pj(), b.charge_pj());
+        assert_eq!(a.is_on(), b.is_on());
+        assert_eq!(a.trace().live_cycles(), b.trace().live_cycles());
+        assert_eq!(a.trace().total_energy_pj(), b.trace().total_energy_pj());
+        for op in Op::ALL {
+            assert_eq!(a.trace().op_count(op), b.trace().op_count(op), "{op:?}");
+            for phase in Phase::ALL {
+                let sa = a.trace().stat(RegionId::OTHER, phase, op);
+                let sb = b.trace().stat(RegionId::OTHER, phase, op);
+                assert_eq!(sa, sb, "{op:?}/{phase:?}");
+            }
+        }
+    }
+
+    use crate::trace::RegionId;
+
+    #[test]
+    fn bundle_matches_scalar_on_continuous_power() {
+        let seq = test_iteration();
+        let mut a = continuous();
+        let mut b = continuous();
+        run_scalar(&mut a, &seq, 1000).unwrap();
+        run_bundled(&mut b, &seq, 1000).unwrap();
+        assert_traces_identical(&a, &b);
+    }
+
+    #[test]
+    fn bundle_brownout_lands_on_the_same_op_as_scalar() {
+        let seq = test_iteration();
+        // Enough work to kill the buffer several times over; compare the
+        // full trace at every brown-out across repeated recharge cycles.
+        for _ in 0..4 {
+            let mut a = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+            let mut b = a.clone();
+            let mut iters = 10_000u64;
+            loop {
+                let ra = run_scalar(&mut a, &seq, iters);
+                let rb = run_bundled(&mut b, &seq, iters);
+                assert_eq!(ra.is_err(), rb.is_err());
+                assert_traces_identical(&a, &b);
+                if ra.is_ok() {
+                    break;
+                }
+                a.reboot().unwrap();
+                b.reboot().unwrap();
+                assert_traces_identical(&a, &b);
+                // Remaining work is unknown after a failure mid-iteration;
+                // keep hammering the same count to cross several reboots.
+                iters /= 2;
+                if iters == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consume_bundle_reports_fundable_iterations_without_browning_out() {
+        let seq = test_iteration();
+        let mut bundle = OpBundle::new();
+        for &(op, phase) in &seq {
+            bundle.push(op, phase);
+        }
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let (_, per_iter) = bundle.iter_cost(&d.spec().costs);
+        let expect = d.charge_pj() / per_iter;
+        let funded = d.consume_bundle(&bundle, u64::MAX).unwrap();
+        assert_eq!(funded, expect);
+        assert!(d.is_on(), "a shortfall must not brown the device out");
+        assert!(d.charge_pj() < per_iter);
+        // The scalar replay of the next iteration then browns out.
+        assert!(run_scalar(&mut d, &seq, 1).is_err());
+        assert!(!d.is_on());
+        assert_eq!(d.charge_pj(), 0);
+    }
+
+    #[test]
+    fn consume_tape_matches_scalar_sequence() {
+        // A data-dependent op stream (varying run lengths), settled as a
+        // tape vs consumed scalar-wise, across several brown-outs.
+        let mut a = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let mut b = a.clone();
+        for round in 0..12u64 {
+            let mut tape = OpBundle::new();
+            let mut program: Vec<(Op, u64)> = Vec::new();
+            for k in 0..200 {
+                let op = match (round + k) % 4 {
+                    0 => Op::FramRead,
+                    1 => Op::Alu,
+                    2 => Op::FramWrite,
+                    _ => Op::FxpMul,
+                };
+                let n = 1 + (k % 3);
+                program.push((op, n));
+                tape.push_n(op, Phase::Kernel, n);
+            }
+            let ra = (|| -> Result<(), PowerFailure> {
+                for &(op, n) in &program {
+                    a.consume_n(op, n)?;
+                }
+                Ok(())
+            })();
+            let rb = b.consume_tape(&tape);
+            assert_eq!(ra.is_err(), rb.is_err(), "round {round}");
+            assert_traces_identical(&a, &b);
+            if ra.is_err() {
+                a.reboot().unwrap();
+                b.reboot().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn block_accessors_match_scalar_word_loops() {
+        // Partial block write on a draining buffer: the words that fit
+        // must land, the rest must not, exactly like the scalar loop.
+        let mut a = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let mut b = a.clone();
+        let fa = a.fram_alloc(64).unwrap();
+        let fb = b.fram_alloc(64).unwrap();
+        let data: Vec<Q15> = (0..64).map(|i| Q15::from_raw(i as i16 + 1)).collect();
+        loop {
+            let ra = (|| -> Result<(), PowerFailure> {
+                for (i, q) in data.iter().enumerate() {
+                    a.write(fa, i as u32, *q)?;
+                }
+                Ok(())
+            })();
+            let rb = b.fram_write_block(fb, 0, &data);
+            assert_eq!(ra.is_err(), rb.is_err());
+            assert_eq!(a.peek(fa), b.peek(fb), "partial writes must agree");
+            assert_traces_identical(&a, &b);
+            if ra.is_ok() {
+                break;
+            }
+            a.reboot().unwrap();
+            b.reboot().unwrap();
+        }
+        // Block read round-trip.
+        let mut out = vec![Q15::ZERO; 64];
+        let mut c = continuous();
+        let fc = c.fram_alloc(64).unwrap();
+        c.flash(fc, &data);
+        c.fram_read_block(fc, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(c.trace().op_count(Op::FramRead), 64);
+        // SRAM variants.
+        let sc = c.sram_alloc(8).unwrap();
+        c.sram_write_block(sc, 0, &data[..8]).unwrap();
+        let mut sout = vec![Q15::ZERO; 8];
+        c.sram_read_block(sc, 0, &mut sout).unwrap();
+        assert_eq!(sout, &data[..8]);
+        assert_eq!(c.sram_peek(sc), &data[..8]);
+    }
+
+    #[test]
+    fn prepaid_accessors_move_data_without_energy() {
+        let mut d = continuous();
+        let f = d.fram_alloc(4).unwrap();
+        let s = d.sram_alloc(4).unwrap();
+        let w = d.fram_alloc_word().unwrap();
+        let before = d.trace().total_energy_pj();
+        d.prepaid_write(f, 2, Q15::HALF);
+        assert_eq!(d.prepaid_read(f, 2), Q15::HALF);
+        d.prepaid_sram_write(s, 1, Q15::MAX);
+        assert_eq!(d.prepaid_sram_read(s, 1), Q15::MAX);
+        d.prepaid_store_word(w, 99);
+        assert_eq!(d.prepaid_load_word(w), 99);
+        d.prepaid_write_at(f.addr(0), Q15::HALF);
+        assert_eq!(d.peek_at(f.addr(0)), Q15::HALF);
+        assert_eq!(
+            d.trace().total_energy_pj(),
+            before,
+            "prepaid access must not double-charge"
+        );
+    }
+
+    #[test]
+    fn free_bundles_never_brown_out() {
+        let mut spec = DeviceSpec::tiny();
+        spec.costs.set_cost(Op::Nop, crate::spec::Cost::new(0, 0));
+        let mut d = Device::new(spec, PowerSystem::cap_100uf());
+        let mut bundle = OpBundle::new();
+        bundle.push(Op::Nop, Phase::Kernel);
+        let before = d.charge_pj();
+        assert_eq!(d.consume_bundle(&bundle, 1_000_000).unwrap(), 1_000_000);
+        assert_eq!(d.charge_pj(), before);
+        assert_eq!(d.trace().op_count(Op::Nop), 1_000_000);
+    }
+
+    #[test]
+    fn consume_bundle_while_off_fails() {
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        while d.consume(Op::Nop).is_ok() {}
+        let mut bundle = OpBundle::new();
+        bundle.push(Op::Alu, Phase::Kernel);
+        assert_eq!(d.consume_bundle(&bundle, 5), Err(PowerFailure));
+        assert_eq!(d.consume_tape(&bundle), Err(PowerFailure));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! - **Energy-metered execution.** Every load, store, ALU op, hardware
 //!   multiply, task transition, DMA word, and LEA MAC drains a finite energy
 //!   buffer; when the buffer empties the device browns out and all volatile
-//!   state is lost ([`Device::consume`], [`PowerFailure`]).
+//!   state is lost ([`Device::consume`], [`PowerFailure`]). Inner loops
+//!   charge whole bodies at a time — cycle- and energy-exact, brown-out op
+//!   included — through the bundled accounting fast path ([`bundle`],
+//!   [`Device::consume_bundle`]).
 //! - **A capacitor-based power system.** Usable buffer energy follows
 //!   `E = ½·C·(V_on² − V_off²)` and recharge time integrates the
 //!   harvester's input-power *profile* — constant (the paper's RF setup),
@@ -44,11 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod device;
 pub mod power;
 pub mod spec;
 pub mod trace;
 
+pub use bundle::{BundleOp, OpBundle};
 pub use device::{
     AllocError, Device, FramBuf, FramWord, NvAddr, PowerFailure, SramBuf, SramWord, SupplyDead,
 };

@@ -14,6 +14,7 @@
 
 use crate::spec::{Cost, Op};
 use core::fmt;
+use std::collections::HashMap;
 
 /// Identifies a registered accounting region (e.g. a network layer).
 ///
@@ -47,7 +48,7 @@ impl Phase {
     /// Both phases, in display order.
     pub const ALL: [Phase; 2] = [Phase::Kernel, Phase::Control];
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Phase::Kernel => 0,
             Phase::Control => 1,
@@ -109,6 +110,9 @@ struct EpochMark {
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     region_names: Vec<String>,
+    /// Name → id, so re-registration (once per layer per deployment, for
+    /// every fleet cell) is a hash probe instead of an O(regions) scan.
+    region_ids: HashMap<String, u16>,
     stats: Vec<PhaseStats>,
     live_cycles: u64,
     dead_secs: f64,
@@ -122,6 +126,7 @@ impl Trace {
     pub fn new() -> Self {
         Trace {
             region_names: vec!["other".to_string()],
+            region_ids: HashMap::from([("other".to_string(), 0)]),
             stats: vec![[[OpStat::default(); Op::COUNT]; 2]],
             live_cycles: 0,
             dead_secs: 0.0,
@@ -134,10 +139,11 @@ impl Trace {
     /// Registers a new accounting region, returning its id. Re-registering
     /// an existing name returns the original id.
     pub fn register_region(&mut self, name: &str) -> RegionId {
-        if let Some(i) = self.region_names.iter().position(|n| n == name) {
-            return RegionId(i as u16);
+        if let Some(&i) = self.region_ids.get(name) {
+            return RegionId(i);
         }
         let id = RegionId(self.region_names.len() as u16);
+        self.region_ids.insert(name.to_string(), id.0);
         self.region_names.push(name.to_string());
         self.stats.push([[OpStat::default(); Op::COUNT]; 2]);
         id
@@ -166,6 +172,10 @@ impl Trace {
 
     pub(crate) fn mark_progress(&mut self) {
         self.progress_marks += 1;
+    }
+
+    pub(crate) fn mark_progress_n(&mut self, n: u64) {
+        self.progress_marks += n;
     }
 
     /// Number of power failures (reboots) observed.
@@ -354,6 +364,7 @@ impl Trace {
             .collect();
         let delta = Trace {
             region_names: self.region_names.clone(),
+            region_ids: HashMap::new(), // delta views never register regions
             stats,
             live_cycles: self.live_cycles - mark.live_cycles,
             dead_secs: mark.dead_secs,

@@ -1,9 +1,14 @@
 //! Fleet evaluation of the HAR wearable: a population of inferences per
 //! (backend, power system) cell, over one long-lived deployment per cell,
-//! including time-varying harvest power (square-wave and seeded
-//! pseudo-random occlusion).
+//! including time-varying harvest power (square-wave occlusion, seeded
+//! pseudo-random occlusion, and a recorded trace imported from CSV).
 //!
 //! Run with: `cargo run --release --example fleet_eval`
+//!
+//! Pass a path to a recorded `(duration_s, power_w)` CSV trace to
+//! evaluate against your own harvest recording:
+//! `cargo run --release --example fleet_eval -- my_trace.csv`
+//! (defaults to the bundled `data/harvest/office_rf_walkby.csv`).
 
 use sonic_tails::mcu::{DeviceSpec, HarvestProfile, PowerSystem};
 use sonic_tails::models::{trained, Network};
@@ -14,6 +19,18 @@ fn main() {
     let net = trained(Network::Har);
     let spec = DeviceSpec::msp430fr5994();
     let rf = 150e-6; // the paper's 150 µW RF harvest
+
+    // A recorded harvest trace (ROADMAP "real harvest-trace import"):
+    // the bundled office walk-by RF recording, or a user-supplied CSV.
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "data/harvest/office_rf_walkby.csv".to_string());
+    let recorded = HarvestProfile::piecewise_from_csv_file(&trace_path)
+        .unwrap_or_else(|e| panic!("loading harvest trace: {e}"));
+    println!(
+        "recorded trace {trace_path}: {:.1} uW average harvest",
+        recorded.avg_power_w() * 1e6
+    );
 
     // 8 test-set windows, run in order on each cell's deployment — the
     // sensor pipeline pattern: one flash, many inferences.
@@ -44,6 +61,8 @@ fn main() {
             ),
             // A seeded pseudo-random occlusion trace (deterministic).
             PowerSystem::harvested_with(1e-3, HarvestProfile::seeded_occlusion(rf, 4.0, 8, 7)),
+            // The recorded (imported) trace.
+            PowerSystem::harvested_with(1e-3, recorded),
         ],
     };
 

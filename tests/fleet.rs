@@ -76,6 +76,25 @@ fn fleet_results_are_bit_identical_serial_vs_parallel_and_across_runs() {
     }
 }
 
+/// Absolute digest of the `job` fleet, recorded from the scalar
+/// accounting path. Regenerate (after an *intentional* accounting
+/// change) with `GOLDEN_PRINT=1 cargo test --test fleet -- --nocapture`.
+const FLEET_GOLDEN_DIGEST: u64 = 0x5f9baa1a835b9b4a;
+
+#[test]
+fn fleet_digest_matches_scalar_golden() {
+    let (qm, inputs) = tiny_model();
+    let d = fleet_digest(&run_fleet(&job(&qm, &inputs)));
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("    fleet golden digest: {d:#018x}");
+        return;
+    }
+    assert_eq!(
+        d, FLEET_GOLDEN_DIGEST,
+        "fleet digest diverged from the scalar accounting path"
+    );
+}
+
 #[test]
 fn occluded_power_runs_complete_but_wait_out_the_dark_windows() {
     let (qm, inputs) = tiny_model();
