@@ -1,0 +1,56 @@
+//! Fleet-scored GENESIS: the compression Pareto frontier re-ranked by
+//! real intermittent runs (ROADMAP "Fleet-driven GENESIS").
+//!
+//! Two scenarios per network:
+//!
+//! - SONIC on the paper's 100 µF RF supply — the intended deployment:
+//!   everything completes, and the measured ranking reflects real
+//!   (reboot- and recharge-inclusive) energy instead of the analytic
+//!   estimate.
+//! - The unprotected baseline on a 2 mF buffer — an inference only
+//!   completes if it fits a single charge, so heavy frontier plans
+//!   starve ("does not complete") while compressed ones squeeze
+//!   through; the `starved-in` column names the layer each DNC died in.
+//!
+//! Override the evaluated networks with `FLEET_NETS=HAR` (comma list)
+//! and the inputs per plan with `FLEET_INPUTS=4`.
+
+use mcu::PowerSystem;
+use models::Network;
+use sonic::exec::Backend;
+
+fn main() {
+    let nets: Vec<Network> = std::env::var("FLEET_NETS")
+        .map(|v| {
+            Network::ALL
+                .into_iter()
+                .filter(|n| {
+                    v.split(',')
+                        .any(|s| s.trim().eq_ignore_ascii_case(n.label()))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![Network::Har]);
+    let inputs = bench::experiments::fleet_inputs_count();
+
+    for n in nets {
+        let scenarios = [
+            (Backend::Sonic, PowerSystem::cap_100uf()),
+            (Backend::Baseline, PowerSystem::harvested(2e-3)),
+        ];
+        // One expensive train + sweep per network; the fleet scoring
+        // repeats per scenario.
+        let evaluated = bench::experiments::genesis_fleet(n, &scenarios, inputs);
+        for ((backend, power), (t, chosen)) in scenarios.iter().zip(evaluated) {
+            println!(
+                "== Fleet-scored GENESIS ({}, {} on {}, {} inputs/plan) ==",
+                n.label(),
+                backend.label(),
+                power.label(),
+                inputs
+            );
+            println!("{}", t.render());
+            println!("{chosen}\n");
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! Drivers for every evaluation figure and table.
 
-use crate::report::{ratio, save_csv, secs, FleetReport, Table};
+use crate::report::{ratio, save_csv, secs, starved_label, FleetReport, Table};
+use dnn::data::Dataset;
+use dnn::model::Model;
 use dnn::train::TrainConfig;
+use genesis::fleet::{choose_measured, fleet_score, FleetScoreConfig};
 use genesis::imp::{sweep_accuracy, WILDLIFE};
 use genesis::search::{choose, sweep, EvalContext, SearchSpace};
 use mcu::{CostTable, DeviceSpec, HarvestProfile, Op, PowerSystem};
@@ -43,44 +46,69 @@ pub fn imp_headlines(result_only: bool, accuracy: f64) -> String {
     )
 }
 
-/// Figs. 4 and 5 + the GENESIS choice, for one network. Uses a reduced
-/// sweep (small dataset, short retraining) so the bench completes in
-/// minutes; the Pareto/choice *shape* is what the paper's figures show.
-pub fn fig_genesis(network: Network) -> (Table, Table, String) {
-    let (train, test) = network.datasets(300, 42);
-    let costs = CostTable::msp430fr5994();
-    let ctx = EvalContext {
-        train: &train,
-        test: &test,
+/// The reduced GENESIS evaluation context shared by the Fig. 4/5 sweep
+/// and the fleet-scored re-ranking: small dataset, short retraining, so
+/// the benches complete in minutes.
+fn reduced_ctx<'a>(
+    network: Network,
+    train: &'a Dataset,
+    test: &'a Dataset,
+    costs: &'a CostTable,
+) -> EvalContext<'a> {
+    EvalContext {
+        train,
+        test,
         retrain: TrainConfig {
             epochs: 3,
             ..TrainConfig::default()
         },
         // 128 K words of FRAM minus runtime reserve.
         fram_budget_words: 125_000,
-        costs: &costs,
+        costs,
         interesting_class: network.interesting_class(),
         app: WILDLIFE,
-    };
-    let space = SearchSpace {
-        conv_seps: vec![None, Some((3, 3))],
+    }
+}
+
+/// The reduced sweep grid (8 configurations; same axes as Fig. 4). The
+/// compressed corner mirrors the Table-2 recipe (separated convolutions,
+/// heavily pruned FC layers), so the frontier contains plans that
+/// actually deploy on the 256 KB device alongside ones that only the
+/// analytic FRAM model believes fit.
+fn reduced_space() -> SearchSpace {
+    SearchSpace {
+        conv_seps: vec![None, Some((4, 4))],
         conv_densities: vec![1.0, 0.15],
         fc_ranks: vec![None],
-        fc_densities: vec![1.0, 0.08],
-    };
-    // GENESIS compresses a *trained* network (§5.2): warm the base up
-    // before sweeping so separation/pruning transfer real structure.
+        fc_densities: vec![1.0, 0.04],
+    }
+}
+
+/// GENESIS compresses a *trained* network (§5.2): warm the base up
+/// before sweeping so separation/pruning transfer real structure.
+fn reduced_base(network: Network, train: &Dataset) -> Model {
     let mut base = network.base_model(7);
     dnn::train::train(
         &mut base,
-        &train,
+        train,
         &TrainConfig {
             epochs: 3,
             lr: 0.01,
             ..TrainConfig::default()
         },
     );
-    let results = sweep(&base, &space, &ctx);
+    base
+}
+
+/// Figs. 4 and 5 + the GENESIS choice, for one network. Uses a reduced
+/// sweep (small dataset, short retraining) so the bench completes in
+/// minutes; the Pareto/choice *shape* is what the paper's figures show.
+pub fn fig_genesis(network: Network) -> (Table, Table, String) {
+    let (train, test) = network.datasets(300, 42);
+    let costs = CostTable::msp430fr5994();
+    let ctx = reduced_ctx(network, &train, &test, &costs);
+    let base = reduced_base(network, &train);
+    let results = sweep(&base, &reduced_space(), &ctx);
 
     let mut fig4 = Table::new(&[
         "config",
@@ -126,6 +154,112 @@ pub fn fig_genesis(network: Network) -> (Table, Table, String) {
         })
         .unwrap_or_else(|| "no feasible configuration".to_string());
     (fig4, fig5, chosen)
+}
+
+/// Fleet-scored GENESIS (ROADMAP "Fleet-driven GENESIS"): the analytic
+/// sweep marks the Pareto frontier, then every feasible frontier plan is
+/// *deployed* — compressed, quantized, flashed, and run through each
+/// `(backend, power)` scenario over `inputs` test-set readings — and
+/// re-ranked on the measured numbers. The (expensive) train + sweep
+/// stage runs once; only the cheap fleet scoring repeats per scenario.
+/// Each returned entry is the scenario's analytic-vs-measured table
+/// (non-completing plans carry their per-layer DNC starvation
+/// histogram) plus a one-line choice comparison.
+pub fn genesis_fleet(
+    network: Network,
+    scenarios: &[(Backend, PowerSystem)],
+    inputs: usize,
+) -> Vec<(Table, String)> {
+    let (train, test) = network.datasets(300, 42);
+    let costs = CostTable::msp430fr5994();
+    let ctx = reduced_ctx(network, &train, &test, &costs);
+    let base = reduced_base(network, &train);
+    let results = sweep(&base, &reduced_space(), &ctx);
+    scenarios
+        .iter()
+        .map(|(backend, power)| {
+            genesis_fleet_scenario(network, &results, &ctx, backend, power, inputs)
+        })
+        .collect()
+}
+
+/// One fleet-scored scenario over an existing sweep (see
+/// [`genesis_fleet`]).
+fn genesis_fleet_scenario(
+    network: Network,
+    results: &[genesis::ConfigResult],
+    ctx: &EvalContext<'_>,
+    backend: &Backend,
+    power: &PowerSystem,
+    inputs: usize,
+) -> (Table, String) {
+    let cfg = FleetScoreConfig {
+        spec: DeviceSpec::msp430fr5994(),
+        power: power.clone(),
+        backend: *backend,
+        inputs,
+    };
+    let scored = fleet_score(results, ctx, &cfg);
+
+    let mut t = Table::new(&[
+        "config",
+        "analytic-acc",
+        "analytic-IMpJ",
+        "meas-acc",
+        "DNC-rate",
+        "mean-E(mJ)",
+        "p95-t(s)",
+        "meas-IMpJ",
+        "starved-in",
+    ]);
+    for s in &scored {
+        t.row(vec![
+            s.label.clone(),
+            format!("{:.3}", s.analytic_accuracy),
+            format!("{:.4}", s.analytic_impj),
+            format!("{:.3}", s.measured_accuracy),
+            format!("{:.2}", s.dnc_rate),
+            format!("{:.3}", s.mean_energy_mj),
+            s.p95_total_secs.map(secs).unwrap_or_else(|| "-".into()),
+            format!("{:.4}", s.measured_impj),
+            // A plan the device could not even be flashed with (the
+            // analytic FRAM check missed the runtime reserve) is its own
+            // kind of failure.
+            if s.deploy_error.is_some() {
+                "no-fit(FRAM)".to_string()
+            } else {
+                starved_label(s.starved())
+            },
+        ]);
+    }
+    save_csv(
+        &format!(
+            "genesis-fleet-{}-{}-{}",
+            network.label(),
+            backend.label(),
+            power.label()
+        ),
+        &t,
+    );
+
+    let analytic = choose(results)
+        .map(|c| c.label.clone())
+        .unwrap_or_else(|| "none".into());
+    let measured = choose_measured(&scored)
+        .map(|s| {
+            format!(
+                "{} (meas-IMpJ {:.4}, DNC {:.0}%)",
+                s.label,
+                s.measured_impj,
+                s.dnc_rate * 100.0
+            )
+        })
+        .unwrap_or_else(|| "none".into());
+    let summary = format!(
+        "analytic choice: {analytic} | measured choice ({} on {power}): {measured}",
+        backend.label()
+    );
+    (t, summary)
 }
 
 /// Table 2: the deployed networks — layer inventory, compression, size,
@@ -718,6 +852,7 @@ mod tests {
             trace: dev.trace().report(),
             stats: None,
             error: None,
+            starved_region: None,
         };
         assert_eq!(kernel_share(&out), 0.0);
     }

@@ -119,6 +119,7 @@ impl FleetReport {
             "mean-E(mJ)",
             "p95-E(mJ)",
             "mean-reboots",
+            "starved-in",
         ]);
         let opt = |v: Option<f64>, f: &dyn Fn(f64) -> String| match v {
             Some(x) => f(x),
@@ -138,10 +139,24 @@ impl FleetReport {
                 opt(s.energy_mj.map(|x| x.mean), &|e| format!("{e:.3}")),
                 opt(s.energy_mj.map(|x| x.p95), &|e| format!("{e:.3}")),
                 opt(s.reboots.map(|x| x.mean), &|r| format!("{r:.1}")),
+                starved_label(&s.starved),
             ]);
         }
         t
     }
+}
+
+/// Renders a DNC starvation histogram as `region:count` pairs ("-" when
+/// every run completed).
+pub fn starved_label(starved: &[(String, u64)]) -> String {
+    if starved.is_empty() {
+        return "-".to_string();
+    }
+    starved
+        .iter()
+        .map(|(name, count)| format!("{name}:{count}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Formats seconds with sensible precision.
@@ -214,6 +229,7 @@ mod tests {
                 p50: 12.0,
                 p95: 20.0,
             }),
+            starved: Vec::new(),
         };
         let dnc = CellSummary {
             backend: "Base".into(),
@@ -225,6 +241,7 @@ mod tests {
             total_secs: None,
             energy_mj: None,
             reboots: None,
+            starved: vec![("conv1".into(), 8)],
         };
         let rep = FleetReport {
             rows: vec![("HAR".into(), done), ("HAR".into(), dnc)],
@@ -237,6 +254,9 @@ mod tests {
         let dnc_line = s.lines().find(|l| l.contains("Base")).unwrap();
         assert!(dnc_line.contains("1.00"), "DNC rate: {dnc_line}");
         assert!(dnc_line.contains('-'), "{dnc_line}");
+        // The starvation histogram names the layer the DNCs piled up in.
+        assert!(dnc_line.contains("conv1:8"), "{dnc_line}");
+        assert_eq!(starved_label(&[]), "-");
     }
 
     #[test]

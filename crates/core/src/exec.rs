@@ -80,6 +80,13 @@ pub struct InferenceOutcome {
     pub stats: Option<RunStats>,
     /// The failure, when not completed.
     pub error: Option<String>,
+    /// For a run that did not complete: the name of the accounting
+    /// region (layer/task) that was executing when the run gave up — the
+    /// layer the device *starved* in. `None` for completed runs.
+    /// [`crate::fleet::CellSummary`] aggregates these into a starvation
+    /// histogram, and the per-region reboot counts behind it are in
+    /// [`mcu::trace::RegionReport::reboots`].
+    pub starved_region: Option<String>,
 }
 
 impl InferenceOutcome {
@@ -178,6 +185,7 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
                 trace,
                 stats: Some(stats),
                 error: None,
+                starved_region: None,
             }
         }
         Err(e) => InferenceOutcome {
@@ -189,8 +197,52 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
             trace,
             stats: None,
             error: Some(e.to_string()),
+            starved_region: Some(starved_region_name(dev)),
         },
     }
+}
+
+/// Verifies that `backend`'s per-run runtime working state can be
+/// allocated on `dev` — the TAILS SRAM staging buffers, the Alpaca
+/// commit flag — releasing the probe allocations again.
+///
+/// [`deploy`](crate::deploy()) checks the *model's* footprint; this
+/// checks the rest: [`run_deployed`] builds the runtime with
+/// `expect` (a mis-sized device spec is normally a programming error,
+/// not a runtime condition), so search loops that machine-generate
+/// configurations ([`genesis`-style fleet scoring]) should pre-flight
+/// with this instead of panicking mid-fleet.
+///
+/// [`genesis`-style fleet scoring]: crate::fleet
+///
+/// # Errors
+///
+/// Returns the [`mcu::AllocError`] the runtime build would have
+/// panicked on.
+pub fn preflight_runtime(dev: &mut Device, backend: &Backend) -> Result<(), mcu::AllocError> {
+    match backend {
+        Backend::Baseline | Backend::Sonic | Backend::SonicNoUndo => Ok(()),
+        Backend::Tiled(_) => {
+            let marks = dev.alloc_watermarks();
+            let r = AlpacaRt::new(dev).map(|_| ());
+            dev.rewind_allocs(marks);
+            r
+        }
+        Backend::Tails(_) => tails::preflight_sram(dev),
+    }
+}
+
+/// The name of the region the device was executing when it gave up: the
+/// accounting context survives the failure (tasks set it on entry and
+/// nothing resets it on a brown-out), so after an aborted run it still
+/// names the starving layer/task.
+pub(crate) fn starved_region_name(dev: &Device) -> String {
+    let (region, _) = dev.context();
+    dev.trace()
+        .region_names()
+        .get(region.index())
+        .cloned()
+        .unwrap_or_else(|| "other".to_string())
 }
 
 #[cfg(test)]

@@ -108,6 +108,15 @@ pub struct CellSummary {
     pub energy_mj: Option<Stats>,
     /// Mean / p50 / p95 reboots over completed runs.
     pub reboots: Option<Stats>,
+    /// Per-layer DNC starvation histogram: for every run that did not
+    /// complete, one count against the region (layer/task) the device
+    /// was executing when the run gave up
+    /// ([`crate::exec::InferenceOutcome::starved_region`]). Entries are
+    /// `(region name, DNC runs)` in region-registration order (layer
+    /// order), omitting regions that starved nothing; empty when every
+    /// run completed. GENESIS's fleet scoring uses this to point the
+    /// search at the offending layer.
+    pub starved: Vec<(String, u64)>,
 }
 
 /// Mean and percentiles of one per-run metric.
@@ -169,7 +178,44 @@ impl FleetCell {
             total_secs: stats(&metric(&|r| r.outcome.total_secs(spec))),
             energy_mj: stats(&metric(&|r| r.outcome.energy_mj())),
             reboots: stats(&metric(&|r| r.outcome.trace.reboots as f64)),
+            starved: self.starvation_histogram(),
         }
+    }
+
+    /// Counts non-completed runs per starved region, in region
+    /// registration order (every run's trace carries the deployment's
+    /// region list, so the first run's order is the cell's layer order).
+    fn starvation_histogram(&self) -> Vec<(String, u64)> {
+        let mut order: Vec<String> = self
+            .runs
+            .first()
+            .map(|r| {
+                r.outcome
+                    .trace
+                    .regions
+                    .iter()
+                    .map(|x| x.name.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut counts: Vec<u64> = vec![0; order.len()];
+        for r in &self.runs {
+            let Some(name) = &r.outcome.starved_region else {
+                continue;
+            };
+            match order.iter().position(|n| n == name) {
+                Some(i) => counts[i] += 1,
+                None => {
+                    order.push(name.clone());
+                    counts.push(1);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .collect()
     }
 
     /// An order-sensitive FNV-1a digest over every bit-relevant per-run
@@ -245,6 +291,9 @@ fn run_cell(job: &FleetJob<'_>, power_index: usize, backend_index: usize) -> Fle
                     trace: dev.epoch_report(),
                     stats: None,
                     error: Some(mcu::SupplyDead.to_string()),
+                    // The dead device is still parked in the region the
+                    // original starving run was executing.
+                    starved_region: Some(crate::exec::starved_region_name(&dev)),
                 },
             });
             continue;
@@ -497,6 +546,56 @@ mod tests {
                 err.contains("never recharges") || err.contains("supply dead"),
                 "unexpected error: {err}"
             );
+            assert!(r.outcome.starved_region.is_some());
+        }
+        // Every DNC run is attributed to a region; the dead-supply cell
+        // parks all of them on the layer the original run starved in.
+        let total: u64 = s.starved.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3, "all 3 DNC runs attributed: {:?}", s.starved);
+        assert_eq!(s.starved.len(), 1, "one starving region: {:?}", s.starved);
+    }
+
+    #[test]
+    fn starved_layer_shows_up_in_the_attribution_histogram() {
+        // Tile-128's giant tasks exceed an 8 µF buffer on the sparse-FC
+        // model: the run never terminates, and the attribution must point
+        // at the fully-connected layer it starves in — not at "other".
+        let (qm, input) = tiny_pruned_qmodel();
+        let mut job = tiny_job(&qm, &input, 3);
+        job.backends = vec![Backend::Tiled(128)];
+        job.powers = vec![PowerSystem::continuous(), PowerSystem::harvested(8e-6)];
+        let cells = run_fleet(&job);
+        let spec = DeviceSpec::msp430fr5994();
+
+        // Continuous power: everything completes, nothing starves.
+        let cont = cells[0].summarize(&spec);
+        assert_eq!(cont.completed, cont.runs);
+        assert!(cont.starved.is_empty(), "{:?}", cont.starved);
+
+        // Harvested: every run DNCs in the starving FC layer.
+        let starved = cells[1].summarize(&spec);
+        assert_eq!(starved.completed, 0, "Tile-128 must DNC on 8 µF");
+        let total: u64 = starved.starved.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, starved.runs as u64, "every DNC run attributed");
+        let (top_region, top_count) = starved
+            .starved
+            .iter()
+            .max_by_key(|&&(_, c)| c)
+            .expect("non-empty histogram");
+        assert_eq!(top_region, "fc", "attribution: {:?}", starved.starved);
+        assert_eq!(*top_count, starved.runs as u64);
+        for r in &cells[1].runs {
+            assert_eq!(r.outcome.starved_region.as_deref(), Some("fc"));
+            // The per-region reboot counts behind the attribution: the
+            // starving layer absorbed the power failures.
+            let fc = r
+                .outcome
+                .trace
+                .regions
+                .iter()
+                .find(|x| x.name == "fc")
+                .expect("fc region");
+            assert!(fc.reboots > 0, "starving layer must show reboots");
         }
     }
 

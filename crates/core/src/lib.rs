@@ -31,7 +31,9 @@
 //! - [`fleet`]: the population-scale harness — many test-set inputs ×
 //!   backends × power systems over reusable deployments, fanned across
 //!   threads with deterministic, bit-identical results, summarized as
-//!   accuracy / completion-rate / latency percentiles per cell.
+//!   accuracy / completion-rate / latency percentiles per cell, plus a
+//!   per-layer DNC starvation histogram attributing every
+//!   non-completing run to the layer the device starved in.
 //!
 //! All implementations compute the same quantized network; each one's
 //! intermittent execution is bit-identical to its own continuous-power

@@ -73,16 +73,30 @@ struct SramBufs {
     inter: SramBuf,
 }
 
+fn try_alloc_sram(dev: &mut Device) -> Result<SramBufs, mcu::AllocError> {
+    let cap = CALIB_INITIAL as u32;
+    Ok(SramBufs {
+        src: dev.sram_alloc(cap + 64)?,
+        taps: dev.sram_alloc(64)?,
+        out: dev.sram_alloc(cap)?,
+        inter: dev.sram_alloc(cap)?,
+    })
+}
+
 fn alloc_sram(dev: &mut Device) -> SramBufs {
     // 512*3 + 64 words = ~3.2 KB of the 4 KB SRAM; allocation is
-    // link-time and panics only on a mis-sized device spec.
-    let cap = CALIB_INITIAL as u32;
-    SramBufs {
-        src: dev.sram_alloc(cap + 64).expect("SRAM src buffer"),
-        taps: dev.sram_alloc(64).expect("SRAM taps buffer"),
-        out: dev.sram_alloc(cap).expect("SRAM out buffer"),
-        inter: dev.sram_alloc(cap).expect("SRAM inter buffer"),
-    }
+    // link-time and panics only on a mis-sized device spec (which
+    // [`crate::exec::preflight_runtime`] lets callers probe fallibly).
+    try_alloc_sram(dev).expect("SRAM staging buffers")
+}
+
+/// Checks that the TAILS SRAM staging buffers fit `dev`, releasing the
+/// probe allocations again.
+pub(crate) fn preflight_sram(dev: &mut Device) -> Result<(), mcu::AllocError> {
+    let marks = dev.alloc_watermarks();
+    let r = try_alloc_sram(dev).map(|_| ());
+    dev.rewind_allocs(marks);
+    r
 }
 
 /// Copies FRAM → SRAM by DMA or CPU loop depending on config. Both paths

@@ -25,11 +25,16 @@
 //!   operation counts and the device cost table.
 //! - [`imp`]: the IMpJ application model (Eqs. 1–3, Table 1) and the
 //!   wildlife-monitoring case study behind Figs. 1 and 2.
+//! - [`fleet`]: fleet-backed scoring — the feasible Pareto frontier is
+//!   re-ranked by *deploying* each plan through a real backend under the
+//!   target harvest profile, measuring accuracy, DNC rate, energy, and
+//!   latency, with per-layer DNC starvation attribution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod fleet;
 pub mod imp;
 pub mod linalg;
 mod parallel;
@@ -37,5 +42,6 @@ pub mod prune;
 pub mod search;
 pub mod separate;
 
+pub use fleet::{choose_measured, fleet_score, FleetScoreConfig, FleetScored};
 pub use imp::AppModel;
 pub use search::{ConfigResult, SearchSpace};

@@ -7,6 +7,13 @@
 //! maps every configuration through the IMpJ model to pick the deployed
 //! configuration (Fig. 5) — which is generally *not* the most accurate
 //! one.
+//!
+//! The analytic ranking ([`choose`]) can be upgraded to a *measured* one:
+//! [`fleet_score`] deploys every feasible frontier plan through a real
+//! backend under the target harvest profile and [`choose_measured`]
+//! ranks on measured accuracy / DNC rate / energy / latency, with
+//! per-layer DNC starvation attribution (re-exported here from
+//! [`crate::fleet`]).
 
 use crate::energy::estimate_inference_mj;
 use crate::imp::AppModel;
@@ -20,6 +27,11 @@ use dnn::quant::{quantize, QModel};
 use dnn::tensor::Tensor;
 use dnn::train::{train, TrainConfig};
 use mcu::CostTable;
+
+pub use crate::fleet::{
+    choose_measured, fleet_score, fleet_score_serial, fleet_scored_digest, FleetScoreConfig,
+    FleetScored,
+};
 
 /// Which compression techniques a configuration uses (the Fig. 4 legend).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,7 +129,25 @@ pub struct SearchSpace {
 }
 
 impl SearchSpace {
-    /// A compact default grid (36 configurations plus the original).
+    /// A compact default grid (35 compressed configurations plus the
+    /// uncompressed original).
+    ///
+    /// ```
+    /// use genesis::search::{PlanKnobs, SearchSpace, Technique};
+    ///
+    /// let plans = SearchSpace::default_grid().plans();
+    /// assert_eq!(plans.len(), 36);
+    /// // The uncompressed original always sweeps first...
+    /// assert_eq!(plans[0], PlanKnobs::uncompressed());
+    /// // ...and the grid covers every technique class of Fig. 4.
+    /// for t in [
+    ///     Technique::SeparateOnly,
+    ///     Technique::PruneOnly,
+    ///     Technique::Both,
+    /// ] {
+    ///     assert!(plans.iter().any(|p| p.technique() == t));
+    /// }
+    /// ```
     pub fn default_grid() -> Self {
         SearchSpace {
             conv_seps: vec![None, Some((4, 4)), Some((2, 2))],
@@ -267,7 +297,11 @@ fn quantized_confusion(qm: &QModel, data: &Dataset) -> Confusion {
     c
 }
 
-fn calibration_inputs(data: &Dataset, n: usize) -> Vec<Tensor> {
+/// Calibration inputs per quantization; shared with the fleet-scoring
+/// stage so a re-quantized plan is bit-identical to the sweep's.
+pub(crate) const CALIB_INPUTS: usize = 8;
+
+pub(crate) fn calibration_inputs(data: &Dataset, n: usize) -> Vec<Tensor> {
     (0..n.min(data.len())).map(|i| data.input(i)).collect()
 }
 
@@ -306,7 +340,7 @@ pub fn evaluate_plan(
     }
 
     let input_shape = ctx.train.shape().to_vec();
-    let calib = calibration_inputs(ctx.train, 8);
+    let calib = calibration_inputs(ctx.train, CALIB_INPUTS);
     let qm = quantize(&mut model, &input_shape, &calib);
     let conf = quantized_confusion(&qm, ctx.test);
     let fram_words = qm.fram_words();
@@ -334,7 +368,7 @@ pub fn evaluate_plan(
 
 /// Plans evaluated serially before the median-stopping threshold is
 /// frozen and the remaining plans fan out in parallel.
-const MEDIAN_WARMUP_PLANS: usize = 4;
+pub const MEDIAN_WARMUP_PLANS: usize = 4;
 
 /// Runs the full sweep with the median-stopping rule and marks the Pareto
 /// frontier.

@@ -105,7 +105,12 @@ pub enum RunError {
         limit: u64,
     },
     /// The harvest profile can never refill the buffer (zero average
-    /// input power): the device died and will stay dead.
+    /// input power): [`Device::reboot`] returned [`mcu::SupplyDead`], so
+    /// the device is off for good and retrying is pointless. Distinct
+    /// from [`RunError::NonTermination`] (the device keeps recharging
+    /// but one task never fits a full buffer) — here no recharge will
+    /// ever happen, no dead time accrues, and a fleet marks every
+    /// remaining queued input "does not complete" immediately.
     SupplyDead {
         /// Name of the task that was running when the supply died.
         task: String,

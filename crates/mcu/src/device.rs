@@ -405,6 +405,28 @@ impl Device {
     /// phase; trace cells are order-independent accumulators, so bulk
     /// totals are bit-identical to interleaved scalar charges.
     ///
+    /// ```
+    /// use mcu::{Device, DeviceSpec, Op, OpBundle, Phase, PowerSystem};
+    ///
+    /// // The op sequence of one inner-loop iteration: read a weight and
+    /// // an activation, multiply-accumulate, bump the loop index.
+    /// let mut body = OpBundle::new();
+    /// body.push_n(Op::FramRead, Phase::Kernel, 2);
+    /// body.push(Op::FxpMul, Phase::Kernel);
+    /// body.push(Op::Incr, Phase::Control);
+    ///
+    /// let mut dev = Device::new(DeviceSpec::msp430fr5994(), PowerSystem::cap_100uf());
+    /// let funded = dev.consume_bundle(&body, 1000).unwrap();
+    /// // The buffer funded some whole iterations; their memory effects
+    /// // happen through the `prepaid_*` accessors. If `funded < 1000`
+    /// // the device is still ON and the caller replays the next
+    /// // iteration through its scalar path, so the brown-out lands on
+    /// // exactly the op a one-consume-per-op execution would die on.
+    /// assert!(funded <= 1000 && dev.is_on());
+    /// assert_eq!(dev.trace().op_count(Op::FxpMul), funded);
+    /// assert_eq!(dev.trace().op_count(Op::FramRead), 2 * funded);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`PowerFailure`] only when the device is already off.
@@ -528,7 +550,10 @@ impl Device {
             self.charge_pj = buffer;
         }
         self.on = true;
-        self.trace.add_reboot();
+        // Attribute the power failure to the region that was executing
+        // when the buffer emptied: the raw signal behind per-layer DNC
+        // (starvation) attribution.
+        self.trace.add_reboot(self.region);
         for w in &mut self.sram {
             *w = SRAM_GARBAGE;
         }

@@ -28,7 +28,10 @@
 //!   ([`Device::lea_fir`], [`Device::dma_fram_to_sram`]).
 //! - **Fine-grained accounting** of cycles and energy per (region, phase,
 //!   operation class), which regenerates the paper's time/energy breakdown
-//!   figures ([`trace`]).
+//!   figures ([`trace`]). Power failures are attributed to the region that
+//!   was executing when the buffer emptied
+//!   ([`trace::RegionReport::reboots`]), the raw signal behind per-layer
+//!   "does not complete" (starvation) attribution.
 //!
 //! # Example
 //!

@@ -117,9 +117,29 @@ impl HarvestProfile {
     ///
     /// The import format for recorded solar/RF power traces: one
     /// `duration_s,power_w` pair per line. Blank lines and `#` comments
-    /// are ignored; an optional header line (any line whose first field
-    /// is not a number) is skipped. Durations are seconds, powers watts —
-    /// a 150 µW RF harvest is `0.5,150e-6`.
+    /// (full-line or trailing) are ignored; an optional header line (any
+    /// line whose first field is not a number) is skipped, wherever the
+    /// leading comments put it. Durations are seconds, powers watts — a
+    /// 150 µW RF harvest is `0.5,150e-6`. The parsed segments repeat
+    /// cyclically forever, so a 60 s recording powers a week-long
+    /// simulated deployment.
+    ///
+    /// ```
+    /// use mcu::{HarvestProfile, PowerSystem};
+    ///
+    /// let trace = "\
+    /// ## office corridor, 1 m from the transmitter
+    /// duration_s,power_w
+    /// 4.0,150e-6
+    /// 1.5,0.0      # someone walks through the beam
+    /// 2.5,80e-6
+    /// ";
+    /// let profile = HarvestProfile::piecewise_from_csv(trace).unwrap();
+    /// assert!(profile.avg_power_w() > 0.0);
+    /// // Ready to power a capacitor-buffered device:
+    /// let supply = PowerSystem::harvested_with(100e-6, profile);
+    /// assert_eq!(supply.label(), "100uF~tr");
+    /// ```
     ///
     /// # Errors
     ///
@@ -407,9 +427,30 @@ impl Harvester {
     }
 
     /// Seconds needed to harvest `energy_pj` picojoules starting from
-    /// time zero, or `None` when the profile never delivers it (zero
-    /// average power). Historically this returned `inf` for a dead
-    /// profile, silently producing infinite dead time downstream.
+    /// time zero.
+    ///
+    /// Returns `None` when the profile can **never** deliver the energy
+    /// (zero average input power — a constant-0 supply or a fully
+    /// occluded trace). Callers must treat `None` as "the device stays
+    /// dead" and report it (the scheduler surfaces it as
+    /// `RunError::SupplyDead`); it is not an infinitely long recharge,
+    /// and no dead time should be accrued for it.
+    ///
+    /// ```
+    /// use mcu::Harvester;
+    ///
+    /// // The paper's supply: 1 mF harvesting a constant 150 µW.
+    /// let h = Harvester::constant(1e-3, 150e-6);
+    /// let refill = h.recharge_secs(h.buffer_energy_pj()).unwrap();
+    /// assert!(refill > 0.0 && refill.is_finite());
+    ///
+    /// // A fully occluded profile never refills the buffer: `None`,
+    /// // not infinity.
+    /// let dark = Harvester::constant(1e-3, 0.0);
+    /// assert_eq!(dark.recharge_secs(1), None);
+    /// // Zero energy is always instantly available, even in the dark.
+    /// assert_eq!(dark.recharge_secs(0), Some(0.0));
+    /// ```
     pub fn recharge_secs(&self, energy_pj: u64) -> Option<f64> {
         self.recharge_secs_at(0.0, energy_pj)
     }

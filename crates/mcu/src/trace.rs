@@ -99,6 +99,7 @@ struct EpochMark {
     stats: Vec<PhaseStats>,
     live_cycles: u64,
     reboots: u64,
+    region_reboots: Vec<u64>,
     progress_marks: u64,
     /// Dead time is re-accumulated per epoch rather than recovered by
     /// subtracting cumulative `f64` sums, so identical runs report
@@ -117,6 +118,10 @@ pub struct Trace {
     live_cycles: u64,
     dead_secs: f64,
     reboots: u64,
+    /// Reboots attributed to the region that was executing when the
+    /// power failure struck — the raw data behind per-layer DNC
+    /// (starvation) attribution.
+    region_reboots: Vec<u64>,
     progress_marks: u64,
     epoch: Option<EpochMark>,
 }
@@ -131,6 +136,7 @@ impl Trace {
             live_cycles: 0,
             dead_secs: 0.0,
             reboots: 0,
+            region_reboots: vec![0],
             progress_marks: 0,
             epoch: None,
         }
@@ -146,6 +152,7 @@ impl Trace {
         self.region_ids.insert(name.to_string(), id.0);
         self.region_names.push(name.to_string());
         self.stats.push([[OpStat::default(); Op::COUNT]; 2]);
+        self.region_reboots.push(0);
         id
     }
 
@@ -166,8 +173,9 @@ impl Trace {
         }
     }
 
-    pub(crate) fn add_reboot(&mut self) {
+    pub(crate) fn add_reboot(&mut self, region: RegionId) {
         self.reboots += 1;
+        self.region_reboots[region.index()] += 1;
     }
 
     pub(crate) fn mark_progress(&mut self) {
@@ -181,6 +189,13 @@ impl Trace {
     /// Number of power failures (reboots) observed.
     pub fn reboots(&self) -> u64 {
         self.reboots
+    }
+
+    /// Reboots attributed to one region: power failures that struck while
+    /// the region was the active accounting context. A non-terminating
+    /// run concentrates these on the layer/task that starves.
+    pub fn region_reboots(&self, region: RegionId) -> u64 {
+        self.region_reboots[region.index()]
     }
 
     /// Number of forward-progress beacons (used for non-termination
@@ -304,6 +319,7 @@ impl Trace {
                             .stat(id, Phase::Control, Op::FramWrite)
                             .energy_pj,
                         energy_by_op: self.region_energy_by_op(id),
+                        reboots: self.region_reboots[i],
                     }
                 })
                 .collect(),
@@ -327,6 +343,7 @@ impl Trace {
             stats: self.stats.clone(),
             live_cycles: self.live_cycles,
             reboots: self.reboots,
+            region_reboots: self.region_reboots.clone(),
             progress_marks: self.progress_marks,
             dead_secs: 0.0,
         });
@@ -369,6 +386,12 @@ impl Trace {
             live_cycles: self.live_cycles - mark.live_cycles,
             dead_secs: mark.dead_secs,
             reboots: self.reboots - mark.reboots,
+            region_reboots: self
+                .region_reboots
+                .iter()
+                .enumerate()
+                .map(|(r, &cur)| cur - mark.region_reboots.get(r).copied().unwrap_or(0))
+                .collect(),
             progress_marks: self.progress_marks - mark.progress_marks,
             epoch: None,
         };
@@ -394,6 +417,10 @@ pub struct RegionReport {
     pub index_write_energy_pj: u64,
     /// Energy per op class (pJ).
     pub energy_by_op: [(Op, u64); Op::COUNT],
+    /// Power failures that struck while this region was executing. A
+    /// non-terminating run piles these onto the starving layer, which is
+    /// what per-layer DNC attribution reads.
+    pub reboots: u64,
 }
 
 /// Immutable summary of a [`Trace`].
@@ -473,9 +500,12 @@ mod tests {
         let r = t.register_region("conv");
         t.charge(r, Phase::Kernel, Op::FxpMul, 10, Cost::new(11, 825));
         t.add_dead_time(1.5);
-        t.add_reboot();
+        t.add_reboot(r);
         let rep = t.report();
         assert_eq!(rep.reboots, 1);
+        assert_eq!(rep.regions[1].reboots, 1, "reboot attributed to conv");
+        assert_eq!(rep.regions[0].reboots, 0);
+        assert_eq!(t.region_reboots(r), 1);
         assert!((rep.dead_secs - 1.5).abs() < 1e-12);
         assert_eq!(rep.live_cycles, 110);
         assert_eq!(rep.regions.len(), 2);
@@ -498,7 +528,7 @@ mod tests {
         let r = t.register_region("conv");
         t.charge(r, Phase::Kernel, Op::FxpMul, 10, Cost::new(11, 825));
         t.add_dead_time(1.0);
-        t.add_reboot();
+        t.add_reboot(r);
         t.begin_epoch();
         t.charge(r, Phase::Kernel, Op::FxpMul, 3, Cost::new(11, 825));
         t.add_dead_time(0.5);
@@ -507,6 +537,7 @@ mod tests {
         assert_eq!(rep.total_energy_pj, 3 * 825);
         assert!((rep.dead_secs - 0.5).abs() < 1e-12);
         assert_eq!(rep.reboots, 0);
+        assert_eq!(rep.regions[1].reboots, 0, "pre-mark reboot excluded");
         assert_eq!(rep.regions[1].kernel_cycles, 33);
         // The cumulative view still covers the whole lifetime.
         let full = t.report();
@@ -536,6 +567,30 @@ mod tests {
         assert_eq!(rep.regions.len(), 2);
         assert_eq!(rep.regions[1].kernel_cycles, 4);
         assert_eq!(rep.total_energy_pj, 300);
+    }
+
+    #[test]
+    fn reboots_attribute_to_the_active_region() {
+        let mut t = Trace::new();
+        let conv = t.register_region("conv");
+        let fc = t.register_region("fc");
+        t.add_reboot(conv);
+        t.add_reboot(fc);
+        t.add_reboot(fc);
+        assert_eq!(t.region_reboots(conv), 1);
+        assert_eq!(t.region_reboots(fc), 2);
+        assert_eq!(t.reboots(), 3);
+        // Epochs see only post-mark attributions, including for regions
+        // registered after the mark.
+        t.begin_epoch();
+        let late = t.register_region("late");
+        t.add_reboot(late);
+        let rep = t.epoch_report();
+        assert_eq!(rep.reboots, 1);
+        let by_name = |n: &str| rep.regions.iter().find(|r| r.name == n).unwrap().reboots;
+        assert_eq!(by_name("conv"), 0);
+        assert_eq!(by_name("fc"), 0);
+        assert_eq!(by_name("late"), 1);
     }
 
     #[test]

@@ -1,14 +1,22 @@
 //! Fleet evaluation of the HAR wearable: a population of inferences per
 //! (backend, power system) cell, over one long-lived deployment per cell,
 //! including time-varying harvest power (square-wave occlusion, seeded
-//! pseudo-random occlusion, and a recorded trace imported from CSV).
+//! pseudo-random occlusion, and a recorded trace imported from CSV) and
+//! per-layer DNC starvation attribution (the `starved-in` column).
 //!
 //! Run with: `cargo run --release --example fleet_eval`
 //!
 //! Pass a path to a recorded `(duration_s, power_w)` CSV trace to
 //! evaluate against your own harvest recording:
-//! `cargo run --release --example fleet_eval -- my_trace.csv`
-//! (defaults to the bundled `data/harvest/office_rf_walkby.csv`).
+//!
+//! ```sh
+//! cargo run --release --example fleet_eval -- my_trace.csv
+//! ```
+//!
+//! (defaults to the bundled `data/harvest/office_rf_walkby.csv`; see the
+//! README's "Harvest-trace CSV format" section for the format rules —
+//! one `duration_s,power_w` segment per line, seconds and watts, cycled
+//! forever).
 
 use sonic_tails::mcu::{DeviceSpec, HarvestProfile, PowerSystem};
 use sonic_tails::models::{trained, Network};
@@ -45,10 +53,18 @@ fn main() {
         qmodel: &net.qmodel,
         spec: spec.clone(),
         inputs,
-        backends: vec![Backend::Sonic, Backend::Tails(Default::default())],
+        // Tile-128 rides along because its huge tasks starve on small
+        // buffers: its DNCs demonstrate the per-layer attribution below.
+        backends: vec![
+            Backend::Sonic,
+            Backend::Tails(Default::default()),
+            Backend::Tiled(128),
+        ],
         powers: vec![
             PowerSystem::continuous(),
             PowerSystem::cap_1mf(),
+            // Small enough that one Tile-128 task outlives the buffer.
+            PowerSystem::harvested(8e-6),
             // The transmitter is blocked half of every 2 s.
             PowerSystem::harvested_with(
                 1e-3,
@@ -67,12 +83,25 @@ fn main() {
     };
 
     let cells = run_fleet(&job);
-    println!("impl    power   runs  done  accuracy  p50-total(s)  p95-total(s)  mean-reboots");
+    println!(
+        "impl      power   runs  done  accuracy  p50-total(s)  p95-total(s)  mean-reboots  starved-in"
+    );
     for cell in &cells {
         let s = cell.summarize(&spec);
         let fmt = |v: Option<f64>| v.map(|x| format!("{x:<12.4}")).unwrap_or("-".into());
+        // The starvation histogram: each run that did not complete is
+        // attributed to the layer (region) the device starved in.
+        let starved = if s.starved.is_empty() {
+            "-".to_string()
+        } else {
+            s.starved
+                .iter()
+                .map(|(name, n)| format!("{name}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
         println!(
-            "{:<7} {:<7} {:<5} {:<5} {:<9} {}  {}  {:.1}",
+            "{:<9} {:<7} {:<5} {:<5} {:<9} {}  {}  {:<12.1}  {}",
             s.backend,
             s.power,
             s.runs,
@@ -81,6 +110,7 @@ fn main() {
             fmt(s.total_secs.map(|t| t.p50)),
             fmt(s.total_secs.map(|t| t.p95)),
             s.reboots.map(|r| r.mean).unwrap_or(0.0),
+            starved,
         );
     }
     println!(
