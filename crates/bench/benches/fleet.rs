@@ -5,6 +5,9 @@
 //! Environment knobs:
 //! - `FLEET_INPUTS=n` — inputs per cell (default 8).
 //! - `FLEET_NETS=MNIST,HAR` — comma-separated network filter (default all).
+//! - `FLEET_SCENARIO=flicker` — comma-separated extra named power
+//!   scenarios (bundled adversarial presets) appended to the power
+//!   suite; unset leaves the default run — and its digest — unchanged.
 use bench::report::{save_csv, FleetReport};
 use mcu::DeviceSpec;
 use sonic::fleet::{fleet_digest, run_fleet, FleetJob};
@@ -22,7 +25,15 @@ fn main() {
                 .unwrap_or(true)
         })
         .collect();
-    let powers = bench::experiments::fleet_powers();
+    let mut powers = bench::experiments::fleet_powers();
+    if let Ok(names) = std::env::var("FLEET_SCENARIO") {
+        for name in names.split(',').filter(|s| !s.trim().is_empty()) {
+            powers.push(
+                bench::experiments::named_scenario(name)
+                    .unwrap_or_else(|| panic!("unknown FLEET_SCENARIO `{name}`")),
+            );
+        }
+    }
     let backends = bench::experiments::fig9_backends();
     let inputs = bench::experiments::fleet_inputs_count();
     let spec = DeviceSpec::msp430fr5994();

@@ -379,6 +379,29 @@ pub fn fleet_powers() -> Vec<PowerSystem> {
     powers
 }
 
+/// The bundled adversarial flicker-burst harvest preset
+/// (`data/harvest/flicker_burst.csv`): millisecond on/off chatter near
+/// the buffer's recharge timescale, irregular stutter, a multi-second
+/// blackout, and one strong recovery burst — built to maximize reboots
+/// per unit of forward progress. Paired with the 1 mF buffer.
+pub fn flicker_power() -> PowerSystem {
+    let profile =
+        HarvestProfile::piecewise_from_csv(include_str!("../../../data/harvest/flicker_burst.csv"))
+            .expect("bundled flicker preset must parse");
+    PowerSystem::harvested_with(1e-3, profile)
+}
+
+/// Extra named power scenarios for the fleet bench, selected by the
+/// `FLEET_SCENARIO` environment variable (comma-separated names). The
+/// default bench run (variable unset) uses [`fleet_powers`] alone, so
+/// its digest is independent of the scenarios bundled here.
+pub fn named_scenario(name: &str) -> Option<PowerSystem> {
+    match name.trim().to_lowercase().as_str() {
+        "flicker" => Some(flicker_power()),
+        _ => None,
+    }
+}
+
 /// One Fig. 9 cell: a single inference of `net` with `backend` on
 /// `power`, executed through the fleet engine (a 1×1×1 fleet).
 pub fn run_cell(tn: &TrainedNetwork, backend: &Backend, power: PowerSystem) -> InferenceOutcome {
@@ -853,6 +876,7 @@ mod tests {
             stats: None,
             error: None,
             starved_region: None,
+            brownout: None,
         };
         assert_eq!(kernel_share(&out), 0.0);
     }

@@ -6,7 +6,7 @@ use dnn::quant::QModel;
 use fxp::Q15;
 use intermittent::alpaca::AlpacaRt;
 use intermittent::sched::{run, RunError, RunStats, SchedulerConfig};
-use mcu::{Device, DeviceSpec, PowerSystem, TraceReport};
+use mcu::{Device, DeviceSpec, FaultPlan, PowerSystem, TraceReport};
 
 pub use crate::tails::TailsConfig;
 
@@ -60,6 +60,38 @@ impl core::fmt::Display for Backend {
     }
 }
 
+/// The exact op the final brown-out of a failed run landed on, resolved
+/// to human-readable accounting names (see [`mcu::BrownoutInfo`] for the
+/// raw device-side record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BrownoutRecord {
+    /// Index of the failed op in the device's charged-op stream.
+    pub op_index: u64,
+    /// The op class that failed to complete.
+    pub op: mcu::Op,
+    /// The accounting phase the failed op was charged under.
+    pub phase: mcu::Phase,
+    /// Name of the accounting region (layer/task) the op belonged to.
+    pub region: String,
+    /// `true` for a [`FaultPlan`]-injected failure, `false` for a buffer
+    /// that genuinely ran dry.
+    pub injected: bool,
+}
+
+impl core::fmt::Display for BrownoutRecord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} op#{} ({:?}/{:?}) in {}",
+            if self.injected { "injected" } else { "natural" },
+            self.op_index,
+            self.op,
+            self.phase,
+            self.region
+        )
+    }
+}
+
 /// The result of one inference run on the device.
 #[derive(Clone, Debug)]
 pub struct InferenceOutcome {
@@ -87,6 +119,10 @@ pub struct InferenceOutcome {
     /// histogram, and the per-region reboot counts behind it are in
     /// [`mcu::trace::RegionReport::reboots`].
     pub starved_region: Option<String>,
+    /// For a run that did not complete: the exact op the *final*
+    /// brown-out landed on (op index, op class, phase, region, and
+    /// whether it was injected). `None` for completed runs.
+    pub brownout: Option<BrownoutRecord>,
 }
 
 impl InferenceOutcome {
@@ -123,6 +159,33 @@ pub fn run_inference(
     let mut dev = Device::new(spec.clone(), power);
     let dm = deploy(&mut dev, qm).expect("model must fit in FRAM");
     dm.load_input(&mut dev, input);
+    run_deployed(&mut dev, &dm, backend)
+}
+
+/// Like [`run_inference`], but arms a deterministic [`FaultPlan`] before
+/// the run: each target forces a brown-out at that charged-op index,
+/// *relative to the start of inference* (deployment ops are excluded, so
+/// the same plan means the same boundary across power systems). Injection
+/// works on continuous power too — the recovery paths execute without any
+/// recharge dead time, which is how the crash-consistency suite gets
+/// exhaustive schedules cheaply.
+///
+/// # Panics
+///
+/// Panics if the model does not fit in FRAM (see [`run_inference`]).
+pub fn run_inference_faulted(
+    qm: &QModel,
+    input: &[Q15],
+    spec: &DeviceSpec,
+    power: PowerSystem,
+    backend: &Backend,
+    plan: &FaultPlan,
+) -> InferenceOutcome {
+    let mut dev = Device::new(spec.clone(), power);
+    let dm = deploy(&mut dev, qm).expect("model must fit in FRAM");
+    dm.load_input(&mut dev, input);
+    let base = dev.ops_consumed();
+    dev.arm_faults(&FaultPlan::at_each(plan.targets().iter().map(|t| base + t)));
     run_deployed(&mut dev, &dm, backend)
 }
 
@@ -186,6 +249,7 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
                 stats: Some(stats),
                 error: None,
                 starved_region: None,
+                brownout: None,
             }
         }
         Err(e) => InferenceOutcome {
@@ -198,8 +262,25 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
             stats: None,
             error: Some(e.to_string()),
             starved_region: Some(starved_region_name(dev)),
+            brownout: brownout_record(dev),
         },
     }
+}
+
+/// Resolves the device's most recent brown-out into region-named form.
+pub(crate) fn brownout_record(dev: &Device) -> Option<BrownoutRecord> {
+    dev.last_brownout().map(|b| BrownoutRecord {
+        op_index: b.op_index,
+        op: b.op,
+        phase: b.phase,
+        region: dev
+            .trace()
+            .region_names()
+            .get(b.region.index())
+            .cloned()
+            .unwrap_or_else(|| "other".to_string()),
+        injected: b.injected,
+    })
 }
 
 /// Verifies that `backend`'s per-run runtime working state can be

@@ -294,6 +294,7 @@ fn run_cell(job: &FleetJob<'_>, power_index: usize, backend_index: usize) -> Fle
                     // The dead device is still parked in the region the
                     // original starving run was executing.
                     starved_region: Some(crate::exec::starved_region_name(&dev)),
+                    brownout: crate::exec::brownout_record(&dev),
                 },
             });
             continue;

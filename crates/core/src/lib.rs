@@ -34,6 +34,11 @@
 //!   accuracy / completion-rate / latency percentiles per cell, plus a
 //!   per-layer DNC starvation histogram attributing every
 //!   non-completing run to the layer the device starved in.
+//! - [`mod@spec`]: the executable crash-consistency spec — abstract state
+//!   machines for SONIC/TAILS loop continuity and Alpaca two-phase
+//!   commit, abstraction functions from concrete device state, and a
+//!   differential harness that injects a brown-out at *every* op boundary
+//!   of a small network and checks refinement plus bit-equal output.
 //!
 //! All implementations compute the same quantized network; each one's
 //! intermittent execution is bit-identical to its own continuous-power
@@ -48,9 +53,12 @@ pub mod deploy;
 pub mod exec;
 pub mod fleet;
 pub mod sonic;
+pub mod spec;
 pub mod tails;
 pub mod tiled;
 
 pub use deploy::{deploy, DeployedModel};
-pub use exec::{run_inference, Backend, InferenceOutcome, TailsConfig};
+pub use exec::{
+    run_inference, run_inference_faulted, Backend, BrownoutRecord, InferenceOutcome, TailsConfig,
+};
 pub use fleet::{run_fleet, CellSummary, FleetCell, FleetInput, FleetJob, FleetRun};

@@ -92,6 +92,12 @@ pub struct AlpacaRt {
     order: Vec<NvAddr>,
     commit_flag: FramWord,
     committing: bool,
+    /// `true` when the most recent `after_commit` flag-lower store was
+    /// swallowed by a brown-out, leaving the flag stale-high. Real
+    /// Alpaca charges the lower on the next task's budget; this records
+    /// the window so the crash-consistency spec can tell the benign
+    /// stale flag from a genuinely unsafe raised-while-idle flag.
+    flag_lower_pending: bool,
     /// Scratch op tape reused across task bodies (capacity persists).
     tape: OpBundle,
     /// Per-log-entry commit-walk bundles, one per accounting phase the
@@ -122,6 +128,7 @@ impl AlpacaRt {
             order: Vec::new(),
             commit_flag: dev.fram_alloc_word()?,
             committing: false,
+            flag_lower_pending: false,
             tape: OpBundle::new(),
             commit_entry: [
                 commit_entry_bundle(Phase::Kernel),
@@ -133,6 +140,41 @@ impl AlpacaRt {
     /// Number of live log entries (distinct privatized words).
     pub fn log_len(&self) -> usize {
         self.log.len()
+    }
+
+    // ----- crash-consistency spec probes -------------------------------
+    //
+    // Read-only views of the two-phase-commit machinery, for the
+    // crash-consistency harness's abstraction function (`core::spec`):
+    // the abstract Alpaca machine is (phase, pending log), and these
+    // expose exactly the concrete state it is abstracted from.
+
+    /// The non-volatile commit flag's word: `1` while a commit walk may
+    /// have partially updated home locations (the log must be preserved
+    /// and replayed), `0` otherwise.
+    pub fn commit_flag_word(&self) -> FramWord {
+        self.commit_flag
+    }
+
+    /// `true` between the first commit attempt of a transition and its
+    /// `after_commit` — the window where a power failure must preserve
+    /// the redo log for replay.
+    pub fn is_committing(&self) -> bool {
+        self.committing
+    }
+
+    /// `true` while the commit flag is stale-high: the last transition's
+    /// flag-lower store was swallowed by a brown-out after every home
+    /// location was already written. The flag stays raised until the
+    /// next successful lower, and any log entries accumulated meanwhile
+    /// belong to an uncommitted body that a reboot discards.
+    pub fn flag_lower_pending(&self) -> bool {
+        self.flag_lower_pending
+    }
+
+    /// The pending redo-log entries in append (commit-walk) order.
+    pub fn log_entries(&self) -> impl Iterator<Item = (NvAddr, Q15)> + '_ {
+        self.order.iter().map(move |a| (*a, self.log[a]))
     }
 
     // ----- taped access (bundled accounting) ---------------------------
@@ -324,10 +366,17 @@ impl RuntimeCtx for AlpacaRt {
     fn after_commit(&mut self, dev: &mut Device) {
         // Lower the commit flag; the log becomes dead storage. The flag
         // write is charged on the next task's budget in real Alpaca; here
-        // it is charged immediately but failure cannot occur between
-        // commit success and this call in the scheduler's protocol, so an
-        // infallible host write keeps the model simple.
-        let _ = dev.store_word(self.commit_flag, 0);
+        // it is charged immediately, and a brown-out that swallows it
+        // leaves the flag stale-high (every home is already written, so
+        // recovery is unaffected) — recorded so the crash-consistency
+        // spec can scope its raised-while-idle exception to exactly this
+        // window.
+        // The flag is high entering this call iff a non-empty commit
+        // just raised it (`committing`) or it is stale-high from an
+        // earlier swallowed lower; a failed store on an already-low flag
+        // (empty commit) leaves nothing pending.
+        let was_high = self.committing || self.flag_lower_pending;
+        self.flag_lower_pending = dev.store_word(self.commit_flag, 0).is_err() && was_high;
         self.log.clear();
         self.order.clear();
         self.committing = false;
@@ -399,7 +448,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::{run, SchedulerConfig};
+    use crate::sched::{run, run_observed, SchedulerConfig};
     use mcu::{DeviceSpec, PowerSystem};
 
     fn continuous_dev() -> Device {
@@ -528,6 +577,86 @@ mod tests {
             "WAR protection must yield exactly-once"
         );
         assert_eq!(dev.peek_word(idx), 0);
+    }
+
+    #[test]
+    fn commit_walk_survives_a_brownout_between_any_two_home_writes() {
+        // Exhaustive mid-commit-walk injection: a task privatizes several
+        // words, then a fault is forced at every op boundary of the
+        // commit + transition sequence in turn — including between
+        // log-entry home writes. After recovery the homes must hold
+        // exactly the logged values (redo idempotence) and the commit
+        // flag must be lowered. The fault-free run bounds the boundary
+        // range to sweep.
+        let run_once = |fault: Option<u64>| -> (Device, Vec<u16>, u16, bool) {
+            let mut dev = continuous_dev();
+            let words = dev.fram_alloc(6).unwrap();
+            let mut rt = AlpacaRt::new(&mut dev).unwrap();
+            let mut g = TaskGraph::new();
+            g.add("privatize", move |dev, rt: &mut AlpacaRt| {
+                for k in 0..6u32 {
+                    rt.ts_store_word(dev, words.addr(k), 100 + k as u16)?;
+                }
+                Ok(Transition::Done)
+            });
+            if let Some(f) = fault {
+                dev.arm_faults(&mcu::FaultPlan::at(f));
+            }
+            let mut saw_mid_commit_flag_up = false;
+            run_observed(
+                &mut g,
+                &mut rt,
+                &mut dev,
+                0,
+                &SchedulerConfig::task_based(),
+                |dev, rt: &AlpacaRt, ev| {
+                    if ev.mid_commit {
+                        assert!(rt.is_committing(), "log must be kept for replay");
+                        if dev.peek_word(rt.commit_flag_word()) == 1 {
+                            saw_mid_commit_flag_up = true;
+                        }
+                    }
+                },
+            )
+            .unwrap();
+            let flag = dev.peek_word(rt.commit_flag_word());
+            let homes: Vec<u16> = (0..6).map(|k| dev.peek(words)[k].raw() as u16).collect();
+            (dev, homes, flag, saw_mid_commit_flag_up)
+        };
+
+        let (clean_dev, clean_homes, clean_flag, _) = run_once(None);
+        assert_eq!(clean_homes, vec![100, 101, 102, 103, 104, 105]);
+        assert_eq!(clean_flag, 0);
+
+        let mut mid_commit_crashes = 0u64;
+        for boundary in 0..clean_dev.ops_consumed() {
+            let (dev, homes, flag, mid_flag_up) = run_once(Some(boundary));
+            assert_eq!(
+                homes, clean_homes,
+                "boundary {boundary}: recovery must redo every home write"
+            );
+            // The very last charged op of the run is `after_commit`'s
+            // flag-lowering write, whose failure the model deliberately
+            // swallows (see `after_commit`): a fault there leaves the
+            // flag raised — harmless, since the walk already landed every
+            // home value — and every earlier boundary must lower it.
+            if flag != 0 {
+                assert!(
+                    boundary == clean_dev.ops_consumed() - 1 && !dev.is_on(),
+                    "boundary {boundary}: commit flag raised outside the \
+                     final swallowed flag-lower write"
+                );
+            }
+            assert_eq!(dev.pending_faults(), 0, "boundary {boundary}: fired");
+            if mid_flag_up {
+                mid_commit_crashes += 1;
+            }
+        }
+        assert!(
+            mid_commit_crashes > LOG_ENTRY_WORDS,
+            "the sweep must have crashed inside the raised-flag commit \
+             window many times (got {mid_commit_crashes})"
+        );
     }
 
     #[test]

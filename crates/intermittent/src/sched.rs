@@ -137,6 +137,21 @@ impl core::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// A power-failure notification delivered to a crash observer (see
+/// [`run_observed`]) after a task body or commit browned out, *before*
+/// the scheduler reboots the device — so the observer sees the exact
+/// post-crash NVM state (volatile state is already garbage by the model's
+/// rules only after the reboot wipes it; the crash-consistency harness
+/// inspects persistent words here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// The task that was running when power failed.
+    pub task: TaskId,
+    /// `true` when the failure landed inside the commit + transition
+    /// sequence rather than the task body.
+    pub mid_commit: bool,
+}
+
 /// Runs `graph` from `entry` until `Done`.
 ///
 /// # Errors
@@ -150,6 +165,26 @@ pub fn run<C: RuntimeCtx>(
     dev: &mut Device,
     entry: TaskId,
     cfg: &SchedulerConfig,
+) -> Result<RunStats, RunError> {
+    run_observed(graph, ctx, dev, entry, cfg, |_, _, _| {})
+}
+
+/// Like [`run`], but invokes `observer` on every power failure, between
+/// the brown-out and the reboot: the device still holds the exact crash
+/// state (FRAM as the failed op left it), and the runtime context has not
+/// yet been notified. The crash-consistency spec harness uses this to
+/// check that every reachable crash state refines the abstract machine.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_observed<C: RuntimeCtx>(
+    graph: &mut TaskGraph<C>,
+    ctx: &mut C,
+    dev: &mut Device,
+    entry: TaskId,
+    cfg: &SchedulerConfig,
+    mut observer: impl FnMut(&Device, &C, FailureEvent),
 ) -> Result<RunStats, RunError> {
     let mut stats = RunStats::default();
     let mut current = entry;
@@ -188,6 +223,7 @@ pub fn run<C: RuntimeCtx>(
                         &mut marks_at_last_check,
                         &mut transitions_at_last_check,
                         stats.transitions,
+                        &mut observer,
                     )?;
                     continue;
                 }
@@ -230,6 +266,7 @@ pub fn run<C: RuntimeCtx>(
                     &mut marks_at_last_check,
                     &mut transitions_at_last_check,
                     stats.transitions,
+                    &mut observer,
                 )?;
             }
         }
@@ -251,7 +288,18 @@ fn handle_failure<C: RuntimeCtx>(
     marks_at_last_check: &mut u64,
     transitions_at_last_check: &mut u64,
     transitions_now: u64,
+    observer: &mut impl FnMut(&Device, &C, FailureEvent),
 ) -> Result<(), RunError> {
+    // The crash state: FRAM exactly as the failed op left it, reboot not
+    // yet simulated, runtime context not yet notified.
+    observer(
+        dev,
+        ctx,
+        FailureEvent {
+            task: failed_task,
+            mid_commit,
+        },
+    );
     let marks_now = dev.trace().progress_marks();
     // Under FromEntry a restart discards everything the program did, so
     // beacons and transitions are not durable progress: every failure
@@ -556,5 +604,46 @@ mod tests {
         assert_eq!(ctx.after_commits, 1);
         assert_eq!(ctx.failures_commit, 1);
         assert_eq!(ctx.failures_body, 0);
+    }
+
+    #[test]
+    fn observer_sees_every_crash_before_the_reboot() {
+        // Inject faults on continuous power: each failure must surface to
+        // the observer with the failed task, the commit/body flag, and a
+        // device that is OFF but not yet rebooted (crash-state FRAM).
+        let mut dev = Device::new(DeviceSpec::tiny(), PowerSystem::continuous());
+        let word = dev.fram_alloc_word().unwrap();
+        let mut g: TaskGraph<()> = TaskGraph::new();
+        g.add("crashy", move |dev, _| {
+            let n = dev.load_word(word)?;
+            dev.consume_n(Op::FxpMul, 64)?;
+            dev.store_word(word, n + 1)?;
+            dev.mark_progress();
+            Ok(Transition::Done)
+        });
+        let start = dev.ops_consumed();
+        dev.arm_faults(&mcu::FaultPlan::at_each([start + 10, start + 70]));
+        let mut seen: Vec<(TaskId, bool, bool, u64)> = Vec::new();
+        let stats = run_observed(
+            &mut g,
+            &mut (),
+            &mut dev,
+            0,
+            &SchedulerConfig::task_based(),
+            |dev, _, ev| {
+                let b = dev.last_brownout().expect("crash recorded");
+                seen.push((ev.task, ev.mid_commit, dev.is_on(), b.op_index));
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.reboots, 2);
+        assert_eq!(seen.len(), 2, "one observation per crash");
+        for &(task, mid_commit, on, _) in &seen {
+            assert_eq!(task, 0);
+            assert!(!mid_commit, "faults landed in the body");
+            assert!(!on, "observed between brown-out and reboot");
+        }
+        assert_eq!(seen[0].3, start + 10);
+        assert_eq!(dev.peek_word(word), 1, "exactly one attempt committed");
     }
 }

@@ -194,6 +194,74 @@ impl FramBuf {
     }
 }
 
+/// A deterministic fault-injection plan: a set of charged-op indices at
+/// which the device is forced to brown out, regardless of remaining
+/// charge (injection works on continuous power too, which is how the
+/// crash-consistency harness gets exhaustive, recharge-free schedules).
+///
+/// Op indices count every charged operation on the device
+/// ([`Device::ops_consumed`]): scalar consumes, span charges (DMA words,
+/// LEA MACs, block accessors), bundled iterations, and boot charges all
+/// advance the same counter, so an index identifies one exact op
+/// boundary. A target at index `k` means: the first `k` charged ops
+/// execute, and the op that would have been charged `k`-th fails exactly
+/// like a natural brown-out (energy gone, no memory effect). Each target
+/// fires once; boot charges themselves are not interruptible (a reboot
+/// always completes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Pending targets, ascending.
+    targets: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with a single brown-out at charged-op index `op_index`.
+    pub fn at(op_index: u64) -> Self {
+        FaultPlan {
+            targets: vec![op_index],
+        }
+    }
+
+    /// A plan with a brown-out at each of the given charged-op indices
+    /// (sorted and deduplicated).
+    pub fn at_each(targets: impl IntoIterator<Item = u64>) -> Self {
+        let mut targets: Vec<u64> = targets.into_iter().collect();
+        targets.sort_unstable();
+        targets.dedup();
+        FaultPlan { targets }
+    }
+
+    /// The pending target indices, ascending.
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
+    }
+
+    /// `true` when the plan has no pending targets.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// The exact op a brown-out (natural or injected) landed on: the op
+/// class and accounting context of the first operation that did *not*
+/// complete, plus its index in the device's charged-op stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrownoutInfo {
+    /// Index of the failed op in the charged-op stream (equals
+    /// [`Device::ops_consumed`] at the moment of failure: all ops before
+    /// it completed, this one did not).
+    pub op_index: u64,
+    /// The op class that failed to complete.
+    pub op: Op,
+    /// The accounting phase the failed op was charged under.
+    pub phase: Phase,
+    /// The accounting region (layer/task) active at the failure.
+    pub region: RegionId,
+    /// `true` when the brown-out was forced by a [`FaultPlan`] target,
+    /// `false` when the energy buffer genuinely ran dry.
+    pub injected: bool,
+}
+
 /// The simulated MCU.
 ///
 /// See the [module docs](self) for the execution and failure model.
@@ -210,6 +278,14 @@ pub struct Device {
     trace: Trace,
     region: RegionId,
     phase: Phase,
+    /// Total charged operations over the device's lifetime (the op-index
+    /// axis [`FaultPlan`] targets live on).
+    ops_consumed: u64,
+    /// Pending injected-fault targets, *descending* (pop() yields the
+    /// next target). Empty unless a [`FaultPlan`] is armed.
+    fault_queue: Vec<u64>,
+    /// The most recent brown-out, natural or injected.
+    last_brownout: Option<BrownoutInfo>,
 }
 
 impl Device {
@@ -231,7 +307,39 @@ impl Device {
             trace: Trace::new(),
             region: RegionId::OTHER,
             phase: Phase::Kernel,
+            ops_consumed: 0,
+            fault_queue: Vec::new(),
+            last_brownout: None,
         }
+    }
+
+    /// Total operations charged over the device's lifetime: the op-index
+    /// axis that [`FaultPlan`] targets address. Every metered path —
+    /// scalar consumes, span charges, bundled iterations, boot charges —
+    /// advances this counter by the ops it charged.
+    pub fn ops_consumed(&self) -> u64 {
+        self.ops_consumed
+    }
+
+    /// Arms a fault-injection plan, replacing any pending targets. Each
+    /// target forces one brown-out at its exact charged-op index (see
+    /// [`FaultPlan`]); an unarmed device behaves bit-identically to one
+    /// that never heard of fault injection.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.fault_queue = plan.targets.clone();
+        // Descending, so pop() yields the next (smallest) target.
+        self.fault_queue.reverse();
+    }
+
+    /// Number of armed fault targets that have not fired yet.
+    pub fn pending_faults(&self) -> usize {
+        self.fault_queue.len()
+    }
+
+    /// The most recent brown-out (natural or injected): the exact op it
+    /// landed on. `None` until the first power failure.
+    pub fn last_brownout(&self) -> Option<BrownoutInfo> {
+        self.last_brownout
     }
 
     /// The device specification.
@@ -343,11 +451,18 @@ impl Device {
         if !self.on {
             return (0, Err(PowerFailure));
         }
+        // Injected faults: when the next armed target falls inside this
+        // span, only the ops before it may execute — reaching the target
+        // forces a brown-out exactly there (continuous power included).
+        let n_allowed = match self.fault_queue.last() {
+            Some(&t) => t.saturating_sub(self.ops_consumed).min(n),
+            None => n,
+        };
         let cost = self.spec.costs.cost(op);
-        match &self.power {
+        let (fit, starved) = match &self.power {
             PowerSystem::Continuous => {
-                self.trace.charge(self.region, phase, op, n, cost);
-                (n, Ok(()))
+                self.trace.charge(self.region, phase, op, n_allowed, cost);
+                (n_allowed, false)
             }
             PowerSystem::Harvested(_) => {
                 let per = cost.energy_pj;
@@ -360,22 +475,48 @@ impl Device {
                 );
                 // `checked_div` returns `None` exactly when `per == 0`:
                 // the documented free-execution path.
-                let fit = self.charge_pj.checked_div(per).map_or(n, |q| q.min(n));
+                let fit = self
+                    .charge_pj
+                    .checked_div(per)
+                    .map_or(n_allowed, |q| q.min(n_allowed));
                 if fit > 0 {
                     self.trace.charge(self.region, phase, op, fit, cost);
                     self.charge_pj -= fit * per;
                 }
-                if fit == n {
-                    (fit, Ok(()))
-                } else {
-                    // The interrupted operation's residual charge is wasted
-                    // in the brown-out.
-                    self.charge_pj = 0;
-                    self.on = false;
-                    (fit, Err(PowerFailure))
-                }
+                (fit, fit < n_allowed)
             }
+        };
+        self.ops_consumed += fit;
+        if starved {
+            // Natural brown-out before the span (or any armed target) was
+            // reached. The interrupted operation's residual charge is
+            // wasted in the brown-out. An armed target beyond this point
+            // stays pending: it only fires if execution reaches it.
+            self.force_brownout(op, phase, false);
+            (fit, Err(PowerFailure))
+        } else if fit < n {
+            // The span reached an armed target: fire it.
+            self.fault_queue.pop();
+            self.force_brownout(op, phase, true);
+            (fit, Err(PowerFailure))
+        } else {
+            (fit, Ok(()))
         }
+    }
+
+    /// Cuts power at the current op boundary, recording exactly which op
+    /// failed: op number [`Device::ops_consumed`] (everything before it
+    /// completed, it did not).
+    fn force_brownout(&mut self, op: Op, phase: Phase, injected: bool) {
+        self.charge_pj = 0;
+        self.on = false;
+        self.last_brownout = Some(BrownoutInfo {
+            op_index: self.ops_consumed,
+            op,
+            phase,
+            region: self.region,
+            injected,
+        });
     }
 
     /// Span variant of [`Device::consume_n`] at the current phase.
@@ -437,8 +578,19 @@ impl Device {
         if n_iters == 0 || bundle.is_empty() {
             return Ok(n_iters);
         }
+        // Injected faults: never fund an iteration that straddles an armed
+        // target — cap at the whole iterations that fit strictly before it,
+        // so the caller's scalar replay of the next iteration browns out on
+        // exactly the targeted op. May return less than `n_iters` even on
+        // continuous power.
+        let ops_per_iter = bundle.len();
+        let iter_cap = match self.fault_queue.last() {
+            Some(&t) => t.saturating_sub(self.ops_consumed) / ops_per_iter,
+            None => u64::MAX,
+        };
+        let n_capped = n_iters.min(iter_cap);
         let fit = match &self.power {
-            PowerSystem::Continuous => n_iters,
+            PowerSystem::Continuous => n_capped,
             PowerSystem::Harvested(_) => {
                 let (_, per_iter) = bundle.iter_cost(&self.spec.costs);
                 #[cfg(debug_assertions)]
@@ -457,11 +609,12 @@ impl Device {
                 let fit = self
                     .charge_pj
                     .checked_div(per_iter)
-                    .map_or(n_iters, |q| q.min(n_iters));
+                    .map_or(n_capped, |q| q.min(n_capped));
                 self.charge_pj -= fit * per_iter;
                 fit
             }
         };
+        self.ops_consumed += fit * ops_per_iter;
         if fit > 0 {
             // Trace cells are plain accumulators, so charging the ordered
             // sequence and charging aggregate counts are bit-identical.
@@ -557,8 +710,14 @@ impl Device {
         for w in &mut self.sram {
             *w = SRAM_GARBAGE;
         }
+        // The boot sequence is not an injectable boundary: an armed fault
+        // target landing inside it would re-kill the device before any
+        // program op ran. Boot ops still advance the op counter, but the
+        // queue is parked while they charge.
+        let queue = std::mem::take(&mut self.fault_queue);
         self.consume(Op::Boot)
             .expect("power buffer smaller than boot overhead");
+        self.fault_queue = queue;
         Ok(())
     }
 
@@ -1754,5 +1913,157 @@ mod tests {
         assert_eq!(e.total_energy_pj, w.energy_pj);
         assert_eq!(e.live_cycles, w.cycles as u64);
         assert_eq!(d.trace().report().total_energy_pj, 2 * w.energy_pj);
+    }
+
+    // ----- fault injection -------------------------------------------
+
+    #[test]
+    fn injected_fault_fires_at_the_exact_op_index_on_continuous_power() {
+        let seq = test_iteration();
+        for target in [0u64, 1, 7, 8, 23] {
+            let mut d = continuous();
+            d.arm_faults(&FaultPlan::at(target));
+            let r = run_scalar(&mut d, &seq, 100);
+            assert!(r.is_err(), "target {target} must brown the device out");
+            assert!(!d.is_on());
+            assert_eq!(d.ops_consumed(), target, "ops before the target ran");
+            let b = d.last_brownout().expect("brown-out recorded");
+            assert_eq!(b.op_index, target);
+            assert!(b.injected);
+            // The op that failed is the one the scalar sequence charges at
+            // position `target` (mod the iteration length).
+            let (op, phase) = seq[(target as usize) % seq.len()];
+            assert_eq!(b.op, op);
+            assert_eq!(b.phase, phase);
+            assert_eq!(d.pending_faults(), 0, "the target fired and disarmed");
+            // After a reboot the device runs fault-free to completion.
+            d.reboot().unwrap();
+            run_scalar(&mut d, &seq, 100).unwrap();
+        }
+    }
+
+    #[test]
+    fn bundled_path_hits_the_same_injected_boundary_as_scalar() {
+        let seq = test_iteration();
+        let iter_len = seq.len() as u64;
+        // Targets inside the first iteration, at an iteration boundary,
+        // and deep into the run (forcing the bundle cap to matter).
+        for target in [3u64, iter_len, 5 * iter_len + 2, 40 * iter_len - 1] {
+            let mut a = continuous();
+            let mut b = continuous();
+            a.arm_faults(&FaultPlan::at(target));
+            b.arm_faults(&FaultPlan::at(target));
+            let ra = run_scalar(&mut a, &seq, 100);
+            let rb = run_bundled(&mut b, &seq, 100);
+            assert_eq!(ra.is_err(), rb.is_err(), "target {target}");
+            assert_eq!(a.ops_consumed(), b.ops_consumed(), "target {target}");
+            assert_eq!(a.last_brownout(), b.last_brownout(), "target {target}");
+            assert_traces_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    fn injected_fault_lands_inside_a_span_charge() {
+        // A DMA transfer is charged as one span of per-word ops; a target
+        // inside the span must move exactly the words before it.
+        let mut d = continuous();
+        let f = d.fram_alloc(16).unwrap();
+        let s = d.sram_alloc(16).unwrap();
+        let data: Vec<Q15> = (0..16).map(|i| Q15::from_raw(i as i16 + 1)).collect();
+        d.flash(f, &data);
+        let start = d.ops_consumed();
+        // DmaSetup is charged first, then one DmaWord per word: aim at the
+        // 5th word (start + 1 setup + 4 words).
+        d.arm_faults(&FaultPlan::at(start + 5));
+        let r = d.dma_fram_to_sram(f, s);
+        assert!(r.is_err());
+        let b = d.last_brownout().unwrap();
+        assert!(b.injected);
+        assert_eq!(b.op, Op::DmaWord);
+        assert_eq!(b.op_index, start + 5);
+        // Exactly 4 words landed before the failure.
+        d.reboot().unwrap();
+        // SRAM was wiped by the reboot, but the trace pins the charge:
+        assert_eq!(d.trace().op_count(Op::DmaWord), 4);
+    }
+
+    #[test]
+    fn multi_fault_plan_fires_across_reboots_in_order() {
+        let seq = test_iteration();
+        let mut d = continuous();
+        d.arm_faults(&FaultPlan::at_each([5u64, 5, 17, 30]));
+        assert_eq!(d.pending_faults(), 3, "duplicates collapse");
+        let mut fired = Vec::new();
+        loop {
+            match run_scalar(&mut d, &seq, 10) {
+                Ok(()) => break,
+                Err(PowerFailure) => {
+                    fired.push(d.last_brownout().unwrap().op_index);
+                    d.reboot().unwrap();
+                }
+            }
+        }
+        // Boot charges advance the op counter, so later targets that a
+        // reboot overtakes fire on the first op after it; order holds.
+        assert_eq!(fired.len(), 3);
+        assert!(fired.windows(2).all(|w| w[0] < w[1]), "{fired:?}");
+        assert_eq!(fired[0], 5);
+        assert_eq!(d.pending_faults(), 0);
+    }
+
+    #[test]
+    fn unarmed_device_is_bit_identical_to_one_that_never_heard_of_faults() {
+        let seq = test_iteration();
+        let mut a = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        let mut b = a.clone();
+        b.arm_faults(&FaultPlan::default());
+        loop {
+            let ra = run_scalar(&mut a, &seq, 500);
+            let rb = run_bundled(&mut b, &seq, 500);
+            assert_eq!(ra.is_err(), rb.is_err());
+            assert_traces_identical(&a, &b);
+            assert_eq!(a.ops_consumed(), b.ops_consumed());
+            if ra.is_ok() {
+                break;
+            }
+            a.reboot().unwrap();
+            b.reboot().unwrap();
+        }
+    }
+
+    #[test]
+    fn natural_brownout_records_op_and_leaves_later_targets_armed() {
+        let seq = test_iteration();
+        let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        d.arm_faults(&FaultPlan::at(u64::MAX));
+        assert!(run_scalar(&mut d, &seq, u64::MAX / 8).is_err());
+        let b = d.last_brownout().expect("natural brown-out recorded");
+        assert!(!b.injected, "buffer genuinely ran dry");
+        assert_eq!(b.op_index, d.ops_consumed());
+        assert_eq!(d.pending_faults(), 1, "unreached target stays armed");
+    }
+
+    #[test]
+    fn fault_target_on_boot_defers_to_the_first_program_op() {
+        // A target at or before the boot charge's own op index must not
+        // kill the reboot (whose consume would panic on failure); it
+        // fires on the first program op after the boot instead.
+        let seq = test_iteration();
+        let mut d = continuous();
+        d.arm_faults(&FaultPlan::at(4));
+        assert!(run_scalar(&mut d, &seq, 10).is_err());
+        // Re-arm a stale target below the current op index: the reboot's
+        // parked queue must let the Boot charge through.
+        d.arm_faults(&FaultPlan::at(2));
+        d.reboot().unwrap();
+        assert!(d.is_on(), "boot is not an injectable boundary");
+        let boot_end = d.ops_consumed();
+        // The stale target fires immediately on the next charged op.
+        assert!(run_scalar(&mut d, &seq, 10).is_err());
+        let b = d.last_brownout().unwrap();
+        assert!(b.injected);
+        assert_eq!(b.op_index, boot_end, "fires at the first op boundary");
+        d.reboot().unwrap();
+        run_scalar(&mut d, &seq, 10).unwrap();
     }
 }

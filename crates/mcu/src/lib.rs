@@ -22,6 +22,10 @@
 //!   device's current absolute time, producing the duty-cycled,
 //!   intermittent execution the paper studies ([`power`],
 //!   [`HarvestProfile`]).
+//! - **Deterministic fault injection.** A [`FaultPlan`] forces brown-outs
+//!   at exact charged-op indices — continuous power included — so a
+//!   crash-consistency harness can enumerate every op boundary
+//!   ([`Device::arm_faults`], [`BrownoutInfo`]).
 //! - **The LEA vector accelerator and DMA engine**, including LEA's
 //!   restrictions that shape TAILS: it can only access SRAM, supports only
 //!   dense fixed-point operations, and has no vector left-shift
@@ -58,7 +62,8 @@ pub mod trace;
 
 pub use bundle::{BundleOp, OpBundle};
 pub use device::{
-    AllocError, Device, FramBuf, FramWord, NvAddr, PowerFailure, SramBuf, SramWord, SupplyDead,
+    AllocError, BrownoutInfo, Device, FaultPlan, FramBuf, FramWord, NvAddr, PowerFailure, SramBuf,
+    SramWord, SupplyDead,
 };
 pub use power::{HarvestProfile, Harvester, PowerSystem};
 pub use spec::{Cost, CostTable, DeviceSpec, Op};

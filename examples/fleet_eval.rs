@@ -113,6 +113,27 @@ fn main() {
             starved,
         );
     }
+    // Brown-out forensics: every failed run records the exact charged op
+    // the supply died on (index, op class, accounting phase, layer/task).
+    let mut header_printed = false;
+    for cell in &cells {
+        for run in &cell.runs {
+            if run.outcome.completed {
+                continue;
+            }
+            if let Some(b) = &run.outcome.brownout {
+                if !header_printed {
+                    println!("\nfinal brown-out of each DNC run:");
+                    header_printed = true;
+                }
+                println!(
+                    "  {:<9} {:<7} input {}: {b}",
+                    cell.backend, cell.power, run.input_index
+                );
+            }
+        }
+    }
+
     println!(
         "\nfleet digest {:#018x}: identical on every run, serial or parallel",
         fleet_digest(&cells)
