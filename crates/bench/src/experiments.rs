@@ -11,7 +11,9 @@ use mcu::{CostTable, DeviceSpec, HarvestProfile, Op, PowerSystem};
 use models::{trained, Network, TrainedNetwork};
 use rand::{Rng, SeedableRng};
 use sonic::exec::{Backend, InferenceOutcome, TailsConfig};
+use sonic::experiment::{run_experiment_observed, ExperimentConfig};
 use sonic::fleet::{run_fleet, FleetInput, FleetJob};
+use std::sync::Mutex;
 
 /// Figs. 1 and 2: IMpJ vs accuracy for the wildlife-monitoring case study.
 pub fn fig_imp(result_only: bool) -> Table {
@@ -198,6 +200,7 @@ fn genesis_fleet_scenario(
         power: power.clone(),
         backend: *backend,
         inputs,
+        replicas: 1,
     };
     let scored = fleet_score(results, ctx, &cfg);
 
@@ -398,8 +401,34 @@ pub fn flicker_power() -> PowerSystem {
 pub fn named_scenario(name: &str) -> Option<PowerSystem> {
     match name.trim().to_lowercase().as_str() {
         "flicker" => Some(flicker_power()),
+        "burst" => Some(burst_power()),
+        "fading" => Some(fading_power()),
         _ => None,
     }
+}
+
+/// The `burst` scenario: the paper's 150 µW RF transmitter polling on a
+/// 25% duty cycle (0.5 s bursts every 2 s), on the 1 mF buffer — the
+/// parameterized [`HarvestProfile::burst_duty`] generator rather than a
+/// bundled CSV.
+pub fn burst_power() -> PowerSystem {
+    PowerSystem::harvested_with(
+        1e-3,
+        HarvestProfile::burst_duty(mcu::power::RF_HARVEST_UW * 1e-6, 2.0, 0.25),
+    )
+}
+
+/// The `fading` scenario: a wearable harvester walking away from a
+/// 600 µW (at the 1 m reference) transmitter out to 3 m and back every
+/// 8 s, received power following the inverse square of distance
+/// ([`HarvestProfile::fading_rf`]), on the 1 mF buffer. The far point
+/// fades to 1/9th of the reference power — around the paper's 67 µW
+/// weak-RF operating point.
+pub fn fading_power() -> PowerSystem {
+    PowerSystem::harvested_with(
+        1e-3,
+        HarvestProfile::fading_rf(4.0 * mcu::power::RF_HARVEST_UW * 1e-6, 3.0, 8.0, 16),
+    )
 }
 
 /// One Fig. 9 cell: a single inference of `net` with `backend` on
@@ -411,17 +440,22 @@ pub fn run_cell(tn: &TrainedNetwork, backend: &Backend, power: PowerSystem) -> I
         inputs: fleet_inputs(tn, 1, FLEET_SEED),
         backends: vec![*backend],
         powers: vec![power],
+        replicas: 1,
     };
     let mut cells = run_fleet(&job);
     cells.remove(0).runs.remove(0).outcome
 }
 
 /// Fig. 9, population edition: `inputs_per_cell` test inputs through
-/// every (network, backend, power system) cell via the fleet engine.
-/// The table reports per-cell accuracy, completion (DNC) rate, and
-/// latency/energy/reboot distributions; the raw vector carries each
-/// cell's *first* run (test input 0 — the historical single-run cell)
-/// for reuse by Figs. 10–12.
+/// every (network, backend, power system) cell via the experiment
+/// service — per-run records stream to
+/// `target/experiments/fig09-<net>/` as shards complete, and the
+/// summaries are the service's merged per-shard aggregates (bit-equal
+/// to the in-RAM fleet path). The table reports per-cell accuracy,
+/// completion (DNC) rate, and latency/energy/reboot distributions; the
+/// raw vector carries each cell's *first* run (test input 0 — the
+/// historical single-run cell) for reuse by Figs. 10–12, collected from
+/// the service's run observer.
 pub fn fig9(
     nets: &[TrainedNetwork],
     powers: &[PowerSystem],
@@ -438,22 +472,51 @@ pub fn fig9(
             inputs: fleet_inputs(tn, inputs_per_cell, FLEET_SEED),
             backends: backends.to_vec(),
             powers: powers.to_vec(),
+            replicas: fleet_replicas(),
         };
-        for cell in run_fleet(&job) {
+        let mut cfg =
+            ExperimentConfig::new(&format!("fig09-{}", tn.network.label().to_lowercase()));
+        cfg.root = crate::report::experiments_dir();
+        // Figs. 10–12 dissect each cell's first run (full traces, which
+        // records don't carry): lift them out of the worker threads as
+        // they happen instead of re-running cells.
+        let firsts: Mutex<Vec<((usize, usize), InferenceOutcome)>> = Mutex::new(Vec::new());
+        let outcome = run_experiment_observed(&job, &cfg, &|shard, run| {
+            if run.input_index == 0 {
+                firsts.lock().expect("fig9 observer poisoned").push((
+                    (shard.power_index, shard.backend_index),
+                    run.outcome.clone(),
+                ));
+            }
+        })
+        .unwrap_or_else(|e| panic!("fig09 experiment: {e}"));
+        let mut firsts = firsts.into_inner().expect("fig9 observer poisoned");
+        firsts.sort_by_key(|&(key, _)| key);
+        for (cell, (_, first)) in outcome.cells.iter().zip(firsts) {
             report
                 .rows
-                .push((tn.network.label().to_string(), cell.summarize(&spec)));
+                .push((tn.network.label().to_string(), cell.summary.clone()));
             raw.push((
                 tn.network.label().to_string(),
                 cell.power.clone(),
                 cell.backend.clone(),
-                cell.runs[0].outcome.clone(),
+                first,
             ));
         }
     }
     let t = report.table();
     save_csv("fig09", &t);
     (t, raw)
+}
+
+/// Replica devices per fleet cell, from `FLEET_REPLICAS` (default 1 —
+/// the historical single-deployment cells, whose digests are pinned).
+pub fn fleet_replicas() -> usize {
+    std::env::var("FLEET_REPLICAS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
 }
 
 /// Geometric-mean slowdown vs the baseline on continuous power (the §9.1

@@ -51,6 +51,7 @@
 pub mod baseline;
 pub mod deploy;
 pub mod exec;
+pub mod experiment;
 pub mod fleet;
 pub mod sonic;
 pub mod spec;
@@ -61,4 +62,8 @@ pub use deploy::{deploy, DeployedModel};
 pub use exec::{
     run_inference, run_inference_faulted, Backend, BrownoutRecord, InferenceOutcome, TailsConfig,
 };
-pub use fleet::{run_fleet, CellSummary, FleetCell, FleetInput, FleetJob, FleetRun};
+pub use experiment::{
+    run_experiment, run_experiment_observed, CellReport, ExperimentConfig, ExperimentError,
+    ExperimentOutcome, RunRecord,
+};
+pub use fleet::{run_fleet, CellSummary, FleetCell, FleetInput, FleetJob, FleetRun, ShardSpec};

@@ -43,6 +43,10 @@ pub struct FleetScoreConfig {
     pub backend: Backend,
     /// Test inputs per plan, taken in order from the context's test set.
     pub inputs: usize,
+    /// Replica devices for the scoring cell
+    /// ([`sonic::fleet::FleetJob::replicas`]); `1` reproduces the
+    /// historical single-deployment score bit-for-bit.
+    pub replicas: usize,
 }
 
 impl FleetScoreConfig {
@@ -53,6 +57,7 @@ impl FleetScoreConfig {
             power: PowerSystem::cap_100uf(),
             backend: Backend::Sonic,
             inputs: 8,
+            replicas: 1,
         }
     }
 }
@@ -183,6 +188,7 @@ fn score_plan(
         inputs,
         backends: vec![cfg.backend],
         powers: vec![cfg.power.clone()],
+        replicas: cfg.replicas,
     };
     // A 1×1 fleet: `run_fleet`'s own fan-out degenerates to an inline
     // loop, so nesting it under the per-plan fan-out stays deterministic.

@@ -84,6 +84,67 @@ impl HarvestProfile {
         HarvestProfile::Constant(RF_HARVEST_UW * 1e-6)
     }
 
+    /// A burst-duty-cycle harvest: full `high_w` power for `duty ·
+    /// period_s` seconds, then nothing for the rest of the period —
+    /// the parameterized generator behind duty-cycled transmitters
+    /// (RFID readers polling on a schedule, a beacon that sleeps
+    /// between bursts). A convenience constructor over
+    /// [`HarvestProfile::Square`] with a fully-dark off phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s` is not positive or `duty` is outside
+    /// `(0, 1]`.
+    pub fn burst_duty(high_w: f64, period_s: f64, duty: f64) -> Self {
+        assert!(period_s > 0.0, "burst_duty: non-positive period");
+        assert!(
+            duty > 0.0 && duty <= 1.0,
+            "burst_duty: duty must be in (0, 1], got {duty}"
+        );
+        HarvestProfile::Square {
+            high_w,
+            low_w: 0.0,
+            period_s,
+            duty,
+        }
+    }
+
+    /// A fading-RF harvest: the harvester walks away from the
+    /// transmitter and back, so received power follows the inverse
+    /// square of distance. One period sweeps distance linearly from
+    /// 1 m out to `max_distance_m` and back (a triangular sweep),
+    /// sampled at `segments` piecewise-constant steps of
+    /// `period_s / segments` seconds each; the received power of a
+    /// step is `peak_w / d²` at the step's midpoint distance.
+    /// Deterministic — the same parameters always produce the same
+    /// trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 2`, `period_s` is not positive, or
+    /// `max_distance_m < 1`.
+    pub fn fading_rf(peak_w: f64, max_distance_m: f64, period_s: f64, segments: usize) -> Self {
+        assert!(segments >= 2, "fading_rf: need at least 2 segments");
+        assert!(period_s > 0.0, "fading_rf: non-positive period");
+        assert!(
+            max_distance_m >= 1.0,
+            "fading_rf: max distance below the 1 m reference"
+        );
+        let dur = period_s / segments as f64;
+        let segs = (0..segments)
+            .map(|i| {
+                // Triangular sweep over the unit interval, sampled at
+                // segment midpoints: 0 → 1 over the first half of the
+                // period, 1 → 0 over the second.
+                let t = (i as f64 + 0.5) / segments as f64;
+                let sweep = 1.0 - (2.0 * t - 1.0).abs();
+                let d = 1.0 + (max_distance_m - 1.0) * sweep;
+                (dur, peak_w / (d * d))
+            })
+            .collect();
+        HarvestProfile::Piecewise(segs)
+    }
+
     /// A deterministic pseudo-random occlusion trace derived from `seed`.
     ///
     /// Generates `segments` spans covering roughly `period_s` seconds in
@@ -733,6 +794,66 @@ mod tests {
         assert_ne!(a, c, "different seeds should differ");
         // The trace's mean power never exceeds the unoccluded base.
         assert!(a.avg_power_w() <= 150e-6);
+    }
+
+    #[test]
+    fn burst_duty_is_a_dark_off_phase_square() {
+        let p = HarvestProfile::burst_duty(150e-6, 2.0, 0.25);
+        p.validate();
+        assert_eq!(
+            p,
+            HarvestProfile::Square {
+                high_w: 150e-6,
+                low_w: 0.0,
+                period_s: 2.0,
+                duty: 0.25,
+            }
+        );
+        // Mean power is exactly the duty-scaled burst power.
+        assert!((p.avg_power_w() - 150e-6 * 0.25).abs() < 1e-18);
+        // Mid-burst delivers full power; mid-gap delivers none.
+        assert_eq!(p.power_at(0.1), 150e-6);
+        assert_eq!(p.power_at(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn burst_duty_rejects_zero_duty() {
+        let _ = HarvestProfile::burst_duty(150e-6, 2.0, 0.0);
+    }
+
+    #[test]
+    fn fading_rf_follows_the_inverse_square_walk() {
+        let peak = 600e-6;
+        let p = HarvestProfile::fading_rf(peak, 3.0, 8.0, 16);
+        p.validate();
+        let q = HarvestProfile::fading_rf(peak, 3.0, 8.0, 16);
+        assert_eq!(p, q, "the sweep is deterministic");
+        let HarvestProfile::Piecewise(segs) = &p else {
+            panic!("fading_rf is piecewise");
+        };
+        assert_eq!(segs.len(), 16);
+        // Every step's power lies within the inverse-square envelope,
+        // and the sweep is symmetric: out and back see the same fades.
+        for &(dur, w) in segs {
+            assert!((dur - 0.5).abs() < 1e-12);
+            assert!(w <= peak && w >= peak / 9.0, "power {w} outside envelope");
+        }
+        for i in 0..8 {
+            assert_eq!(segs[i].1, segs[15 - i].1, "triangular sweep symmetry");
+        }
+        // Near the transmitter the fade is mild; at the far point it is
+        // the full inverse-square loss.
+        assert!(segs[0].1 > segs[7].1);
+        let d_far = 1.0 + 2.0 * (1.0 - (2.0_f64 * (7.5 / 16.0) - 1.0).abs());
+        assert!((segs[7].1 - peak / (d_far * d_far)).abs() < 1e-18);
+        assert!(p.avg_power_w() < peak);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments")]
+    fn fading_rf_rejects_a_single_segment() {
+        let _ = HarvestProfile::fading_rf(150e-6, 3.0, 8.0, 1);
     }
 
     #[test]

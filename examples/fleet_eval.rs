@@ -1,48 +1,114 @@
 //! Fleet evaluation of the HAR wearable: a population of inferences per
-//! (backend, power system) cell, over one long-lived deployment per cell,
-//! including time-varying harvest power (square-wave occlusion, seeded
+//! (backend, power system) cell, over long-lived deployments, including
+//! time-varying harvest power (square-wave occlusion, seeded
 //! pseudo-random occlusion, and a recorded trace imported from CSV) and
-//! per-layer DNC starvation attribution (the `starved-in` column).
+//! per-layer DNC starvation attribution (the `starved-in` column) — run
+//! through the resumable experiment service, which streams per-run
+//! records to disk as shards complete.
 //!
 //! Run with: `cargo run --release --example fleet_eval`
 //!
-//! Pass a path to a recorded `(duration_s, power_w)` CSV trace to
-//! evaluate against your own harvest recording:
+//! Flags (all optional):
 //!
 //! ```sh
-//! cargo run --release --example fleet_eval -- my_trace.csv
+//! cargo run --release --example fleet_eval -- \
+//!     [--inputs N]        # test-set windows per cell (default 8)
+//!     [--replicas R]      # replica devices per cell (default 1)
+//!     [--experiment NAME] # experiment directory name (default fleet-eval)
+//!     [--out DIR]         # experiments root (default target/experiments)
+//!     [--resume]          # load sealed shards from a killed run
+//!     [--max-shards K]    # stop after K shards (deterministic "kill")
+//!     [my_trace.csv]      # recorded (duration_s, power_w) harvest trace
 //! ```
 //!
-//! (defaults to the bundled `data/harvest/office_rf_walkby.csv`; see the
-//! README's "Harvest-trace CSV format" section for the format rules —
-//! one `duration_s,power_w` segment per line, seconds and watts, cycled
-//! forever).
+//! The trace defaults to the bundled `data/harvest/office_rf_walkby.csv`;
+//! see the README's "Harvest-trace CSV format" section for the format
+//! rules (one `duration_s,power_w` segment per line, seconds and watts,
+//! cycled forever). A killed run resumes bit-identically: re-invoke with
+//! `--resume` and the same flags, and the final digest equals an
+//! uninterrupted run's.
 
 use sonic_tails::mcu::{DeviceSpec, HarvestProfile, PowerSystem};
 use sonic_tails::models::{trained, Network};
 use sonic_tails::sonic::exec::Backend;
-use sonic_tails::sonic::fleet::{fleet_digest, run_fleet, FleetInput, FleetJob};
+use sonic_tails::sonic::experiment::{run_experiment, ExperimentConfig};
+use sonic_tails::sonic::fleet::{FleetInput, FleetJob};
+
+struct Args {
+    inputs: usize,
+    replicas: usize,
+    experiment: String,
+    out: std::path::PathBuf,
+    resume: bool,
+    max_shards: Option<usize>,
+    trace_path: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        inputs: 8,
+        replicas: 1,
+        experiment: "fleet-eval".to_string(),
+        out: std::path::PathBuf::from("target/experiments"),
+        resume: false,
+        max_shards: None,
+        trace_path: "data/harvest/office_rf_walkby.csv".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--inputs" => {
+                args.inputs = value(&mut it, "--inputs")
+                    .parse()
+                    .expect("--inputs: not a number")
+            }
+            "--replicas" => {
+                args.replicas = value(&mut it, "--replicas")
+                    .parse()
+                    .expect("--replicas: not a number")
+            }
+            "--experiment" => args.experiment = value(&mut it, "--experiment"),
+            "--out" => args.out = value(&mut it, "--out").into(),
+            "--resume" => args.resume = true,
+            "--max-shards" => {
+                args.max_shards = Some(
+                    value(&mut it, "--max-shards")
+                        .parse()
+                        .expect("--max-shards: not a number"),
+                )
+            }
+            other if !other.starts_with("--") => args.trace_path = other.to_string(),
+            other => panic!("unknown flag {other} (see the example's header comment)"),
+        }
+    }
+    assert!(args.replicas > 0, "--replicas must be at least 1");
+    args
+}
 
 fn main() {
+    let args = parse_args();
     let net = trained(Network::Har);
     let spec = DeviceSpec::msp430fr5994();
     let rf = 150e-6; // the paper's 150 µW RF harvest
 
     // A recorded harvest trace (ROADMAP "real harvest-trace import"):
     // the bundled office walk-by RF recording, or a user-supplied CSV.
-    let trace_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "data/harvest/office_rf_walkby.csv".to_string());
-    let recorded = HarvestProfile::piecewise_from_csv_file(&trace_path)
+    let recorded = HarvestProfile::piecewise_from_csv_file(&args.trace_path)
         .unwrap_or_else(|e| panic!("loading harvest trace: {e}"));
     println!(
-        "recorded trace {trace_path}: {:.1} uW average harvest",
+        "recorded trace {}: {:.1} uW average harvest",
+        args.trace_path,
         recorded.avg_power_w() * 1e6
     );
 
-    // 8 test-set windows, run in order on each cell's deployment — the
-    // sensor pipeline pattern: one flash, many inferences.
-    let inputs: Vec<FleetInput> = (0..8)
+    // Test-set windows, run in order on each cell's deployments — the
+    // sensor pipeline pattern: one flash, many inferences. With
+    // `--replicas R`, the windows are sliced across R fielded sensors.
+    let inputs: Vec<FleetInput> = (0..args.inputs)
         .map(|i| FleetInput {
             input: net.qmodel.quantize_input(&net.test.input(i)),
             label: Some(net.test.label(i)),
@@ -80,14 +146,26 @@ fn main() {
             // The recorded (imported) trace.
             PowerSystem::harvested_with(1e-3, recorded),
         ],
+        replicas: args.replicas,
     };
 
-    let cells = run_fleet(&job);
+    let cfg = ExperimentConfig {
+        name: args.experiment.clone(),
+        root: args.out.clone(),
+        resume: args.resume,
+        shard_budget: args.max_shards,
+    };
+    let outcome = run_experiment(&job, &cfg).unwrap_or_else(|e| panic!("experiment: {e}"));
+    println!(
+        "{} shards run, {} loaded from checkpoints, {} pending",
+        outcome.executed_shards, outcome.loaded_shards, outcome.pending_shards
+    );
+
     println!(
         "impl      power   runs  done  accuracy  p50-total(s)  p95-total(s)  mean-reboots  starved-in"
     );
-    for cell in &cells {
-        let s = cell.summarize(&spec);
+    for cell in &outcome.cells {
+        let s = &cell.summary;
         let fmt = |v: Option<f64>| v.map(|x| format!("{x:<12.4}")).unwrap_or("-".into());
         // The starvation histogram: each run that did not complete is
         // attributed to the layer (region) the device starved in.
@@ -114,28 +192,38 @@ fn main() {
         );
     }
     // Brown-out forensics: every failed run records the exact charged op
-    // the supply died on (index, op class, accounting phase, layer/task).
+    // the supply died on (index, op class, accounting phase, layer/task)
+    // — replayed here from the streamed records, not from RAM.
     let mut header_printed = false;
-    for cell in &cells {
-        for run in &cell.runs {
-            if run.outcome.completed {
+    for cell in &outcome.cells {
+        for rec in &cell.records {
+            if rec.completed {
                 continue;
             }
-            if let Some(b) = &run.outcome.brownout {
+            if let Some(b) = &rec.brownout {
                 if !header_printed {
                     println!("\nfinal brown-out of each DNC run:");
                     header_printed = true;
                 }
                 println!(
                     "  {:<9} {:<7} input {}: {b}",
-                    cell.backend, cell.power, run.input_index
+                    cell.backend, cell.power, rec.input_index
                 );
             }
         }
     }
 
-    println!(
-        "\nfleet digest {:#018x}: identical on every run, serial or parallel",
-        fleet_digest(&cells)
-    );
+    if outcome.complete {
+        println!(
+            "\nfleet digest {:#018x}: identical on every run, serial or parallel, \
+             killed-and-resumed or not",
+            outcome.digest
+        );
+    } else {
+        println!(
+            "\nexperiment partial ({} shards pending): re-run with --resume to finish",
+            outcome.pending_shards
+        );
+    }
+    println!("experiment records: {}", outcome.dir.display());
 }

@@ -54,6 +54,7 @@ fn main() {
             .collect(),
         backends: vec![Backend::Sonic],
         powers: vec![PowerSystem::cap_100uf()],
+        replicas: 1,
     };
     let cell = &run_fleet(&job)[0];
     let mut sent = 0;

@@ -1,0 +1,108 @@
+//! Experiment-service integration tests, end to end through the facade
+//! crate: a sharded study killed mid-run resumes from its sealed shard
+//! records and lands on the exact digest of an uninterrupted run.
+
+use rand::SeedableRng;
+use sonic_tails::dnn::layers::Layer;
+use sonic_tails::dnn::model::Model;
+use sonic_tails::dnn::quant::{quantize, QModel};
+use sonic_tails::dnn::tensor::Tensor;
+use sonic_tails::mcu::{DeviceSpec, PowerSystem};
+use sonic_tails::sonic::exec::Backend;
+use sonic_tails::sonic::experiment::{run_experiment, ExperimentConfig};
+use sonic_tails::sonic::fleet::{fleet_digest, plan_shards, run_fleet, FleetInput, FleetJob};
+
+fn tiny_model() -> (QModel, Vec<Vec<fxp::Q15>>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut model = Model::new(vec![
+        Layer::dense(16, 12, &mut rng),
+        Layer::relu(),
+        Layer::dense(12, 3, &mut rng),
+    ]);
+    let shape = [16usize];
+    let calib: Vec<Tensor> = (0..3)
+        .map(|_| Tensor::uniform(shape.to_vec(), 0.9, &mut rng))
+        .collect();
+    let qm = quantize(&mut model, &shape, &calib);
+    let inputs = (0..4)
+        .map(|_| qm.quantize_input(&Tensor::uniform(shape.to_vec(), 0.9, &mut rng)))
+        .collect();
+    (qm, inputs)
+}
+
+/// Two replica devices per cell, so every cell splits into two shards
+/// and the mid-run kill lands between a cell's shards, not only between
+/// cells.
+fn job<'a>(qm: &'a QModel, inputs: &[Vec<fxp::Q15>]) -> FleetJob<'a> {
+    FleetJob {
+        qmodel: qm,
+        spec: DeviceSpec::msp430fr5994(),
+        inputs: inputs
+            .iter()
+            .map(|i| FleetInput {
+                input: i.clone(),
+                label: Some(1),
+            })
+            .collect(),
+        backends: vec![Backend::Sonic, Backend::Tiled(8)],
+        powers: vec![PowerSystem::continuous(), PowerSystem::harvested(6e-6)],
+        replicas: 2,
+    }
+}
+
+fn config(name: &str) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(name);
+    cfg.root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("exp-it-tests");
+    cfg
+}
+
+#[test]
+fn killed_experiment_resumes_bit_identical_to_an_uninterrupted_run() {
+    let (qm, inputs) = tiny_model();
+    let j = job(&qm, &inputs);
+    let total_shards = plan_shards(&j).len();
+    assert_eq!(total_shards, 8, "2 backends x 2 powers x 2 replicas");
+
+    // The reference: one uninterrupted run, and the in-RAM fleet engine.
+    let clean = run_experiment(&j, &config("it-clean")).expect("clean run");
+    assert!(clean.complete);
+    assert_eq!(clean.executed_shards, total_shards);
+    assert_eq!(
+        clean.digest,
+        fleet_digest(&run_fleet(&j)),
+        "record-replayed digest == in-RAM digest"
+    );
+
+    // Kill after 3 of 8 shards…
+    let mut killed = config("it-resume");
+    killed.shard_budget = Some(3);
+    let partial = run_experiment(&j, &killed).expect("killed run");
+    assert!(!partial.complete);
+    assert_eq!(partial.executed_shards, 3);
+    assert_eq!(partial.pending_shards, total_shards - 3);
+
+    // …then resume: only the remaining shards run, the first 3 load from
+    // their sealed record files, and the digest is bit-identical.
+    let mut resumed = config("it-resume");
+    resumed.resume = true;
+    let finished = run_experiment(&j, &resumed).expect("resumed run");
+    assert!(finished.complete);
+    assert_eq!(finished.loaded_shards, 3);
+    assert_eq!(finished.executed_shards, total_shards - 3);
+    assert_eq!(
+        finished.digest, clean.digest,
+        "kill+resume == uninterrupted"
+    );
+    for (a, b) in clean.cells.iter().zip(&finished.cells) {
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.records, b.records);
+    }
+
+    // A third invocation is a pure replay: nothing left to execute.
+    let replay = run_experiment(&j, &resumed).expect("replay run");
+    assert_eq!(replay.executed_shards, 0);
+    assert_eq!(replay.loaded_shards, total_shards);
+    assert_eq!(replay.digest, clean.digest);
+}

@@ -55,6 +55,7 @@ fn job<'a>(qm: &'a QModel, inputs: &[Vec<fxp::Q15>]) -> FleetJob<'a> {
                 },
             ),
         ],
+        replicas: 1,
     }
 }
 
