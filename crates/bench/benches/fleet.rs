@@ -73,6 +73,7 @@ fn main() {
             backends: backends.clone(),
             powers: powers.clone(),
             replicas,
+            faults: None,
         };
         let mut cfg =
             ExperimentConfig::new(&format!("fleet-{}", tn.network.label().to_lowercase()));

@@ -441,6 +441,7 @@ pub fn run_cell(tn: &TrainedNetwork, backend: &Backend, power: PowerSystem) -> I
         backends: vec![*backend],
         powers: vec![power],
         replicas: 1,
+        faults: None,
     };
     let mut cells = run_fleet(&job);
     cells.remove(0).runs.remove(0).outcome
@@ -473,6 +474,7 @@ pub fn fig9(
             backends: backends.to_vec(),
             powers: powers.to_vec(),
             replicas: fleet_replicas(),
+            faults: None,
         };
         let mut cfg =
             ExperimentConfig::new(&format!("fig09-{}", tn.network.label().to_lowercase()));
@@ -940,6 +942,9 @@ mod tests {
             error: None,
             starved_region: None,
             brownout: None,
+            corruption_detected: 0,
+            corrupted: None,
+            non_termination_task: None,
         };
         assert_eq!(kernel_share(&out), 0.0);
     }

@@ -120,6 +120,10 @@ impl FleetReport {
             "p95-E(mJ)",
             "mean-reboots",
             "starved-in",
+            "nonterm",
+            "SDC",
+            "corr-det",
+            "corrupted",
         ]);
         let opt = |v: Option<f64>, f: &dyn Fn(f64) -> String| match v {
             Some(x) => f(x),
@@ -140,9 +144,23 @@ impl FleetReport {
                 opt(s.energy_mj.map(|x| x.p95), &|e| format!("{e:.3}")),
                 opt(s.reboots.map(|x| x.mean), &|r| format!("{r:.1}")),
                 starved_label(&s.starved),
+                non_termination_label(s),
+                s.sdc.to_string(),
+                s.corruption_detected.to_string(),
+                s.corrupted_runs.to_string(),
             ]);
         }
         t
+    }
+}
+
+/// Renders a cell's non-termination count, naming the offending task
+/// when one was recorded (`2(tile128-layer0)`), distinct from generic
+/// does-not-complete starvation.
+pub fn non_termination_label(s: &CellSummary) -> String {
+    match (&s.non_termination_task, s.non_termination) {
+        (Some(task), n) if n > 0 => format!("{n}({task})"),
+        (_, n) => n.to_string(),
     }
 }
 
@@ -230,6 +248,11 @@ mod tests {
                 p95: 20.0,
             }),
             starved: Vec::new(),
+            sdc: 0,
+            corruption_detected: 0,
+            corrupted_runs: 0,
+            non_termination: 0,
+            non_termination_task: None,
         };
         let dnc = CellSummary {
             backend: "Base".into(),
@@ -242,6 +265,11 @@ mod tests {
             energy_mj: None,
             reboots: None,
             starved: vec![("conv1".into(), 8)],
+            sdc: 0,
+            corruption_detected: 0,
+            corrupted_runs: 0,
+            non_termination: 0,
+            non_termination_task: None,
         };
         let rep = FleetReport {
             rows: vec![("HAR".into(), done), ("HAR".into(), dnc)],
@@ -257,6 +285,39 @@ mod tests {
         // The starvation histogram names the layer the DNCs piled up in.
         assert!(dnc_line.contains("conv1:8"), "{dnc_line}");
         assert_eq!(starved_label(&[]), "-");
+    }
+
+    #[test]
+    fn fleet_report_surfaces_non_termination_and_corruption() {
+        let mut s = CellSummary {
+            backend: "Tile-128".into(),
+            power: "100uF".into(),
+            runs: 8,
+            completed: 5,
+            completion_rate: 5.0 / 8.0,
+            accuracy: Some(0.5),
+            total_secs: None,
+            energy_mj: None,
+            reboots: None,
+            starved: vec![("tile128-layer0".into(), 1)],
+            sdc: 1,
+            corruption_detected: 7,
+            corrupted_runs: 2,
+            non_termination: 2,
+            non_termination_task: Some("tile128-layer0".into()),
+        };
+        assert_eq!(non_termination_label(&s), "2(tile128-layer0)");
+        s.non_termination_task = None;
+        assert_eq!(non_termination_label(&s), "2");
+        let rep = FleetReport {
+            rows: vec![("MNIST".into(), s)],
+        };
+        let out = rep.table().render();
+        for col in ["nonterm", "SDC", "corr-det", "corrupted"] {
+            assert!(out.contains(col), "missing column {col}: {out}");
+        }
+        let line = out.lines().find(|l| l.contains("Tile-128")).unwrap();
+        assert!(line.contains('7') && line.contains('2'), "{line}");
     }
 
     #[test]

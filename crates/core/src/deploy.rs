@@ -428,7 +428,26 @@ pub fn deploy(dev: &mut Device, qm: &QModel) -> Result<DeployedModel, AllocError
         calib_cand,
     };
     reset_control_words(dev, &model);
+    guard_control_words(dev, &model);
     Ok(model)
+}
+
+/// Registers every control word — the per-layer loop-continuation block
+/// (`idx`, `pos`, `filt`) and undo slot (`undo_val`, `undo_tag`), plus
+/// the TAILS calibration pair — under the device's ECC integrity guard.
+/// Legitimate writes refresh the guard transparently; injected memory
+/// faults diverge from it and are caught at the runtimes' control-read
+/// chokepoints. Weights and activations stay unguarded (the paper's
+/// platform has no ECC over bulk data), which bounds the guard to a
+/// handful of words per layer.
+pub fn guard_control_words(dev: &mut Device, m: &DeployedModel) {
+    dev.guard_word(m.calib);
+    dev.guard_word(m.calib_cand);
+    for l in &m.layers {
+        for w in [l.idx, l.pos, l.filt, l.undo_val, l.undo_tag] {
+            dev.guard_word(w);
+        }
+    }
 }
 
 /// Host-side reset of a layer's control words (flash-time initialization;

@@ -123,6 +123,30 @@ pub struct InferenceOutcome {
     /// brown-out landed on (op index, op class, phase, region, and
     /// whether it was injected). `None` for completed runs.
     pub brownout: Option<BrownoutRecord>,
+    /// Corruption detections the integrity guards noted during the run
+    /// (each either recovered or escalated). Zero on fault-free runs.
+    pub corruption_detected: u64,
+    /// Set when the run was aborted because detected corruption could
+    /// not be recovered: the outcome is *corrupted*, not merely
+    /// incomplete — a distinct verdict from "does not complete".
+    pub corrupted: Option<Corrupted>,
+    /// For a run that failed with [`RunError::NonTermination`]: the name
+    /// of the task that kept draining full buffers without progress.
+    /// `None` for every other outcome — fleets count this separately
+    /// from generic "does not complete".
+    pub non_termination_task: Option<String>,
+}
+
+/// Unrecoverable NVM corruption verdict: what the integrity guards saw
+/// before the run was aborted (see [`RunError::Corrupted`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Corrupted {
+    /// Total corruption detections during the run, the final one
+    /// included.
+    pub detected: u64,
+    /// Name of the accounting region (layer/task) where recovery was
+    /// abandoned.
+    pub region: String,
 }
 
 impl InferenceOutcome {
@@ -163,7 +187,8 @@ pub fn run_inference(
 }
 
 /// Like [`run_inference`], but arms a deterministic [`FaultPlan`] before
-/// the run: each target forces a brown-out at that charged-op index,
+/// the run: each target fires at that charged-op index — a brown-out, a
+/// torn store, a bit flip, or a stuck-at cell ([`mcu::FaultKind`]) —
 /// *relative to the start of inference* (deployment ops are excluded, so
 /// the same plan means the same boundary across power systems). Injection
 /// works on continuous power too — the recovery paths execute without any
@@ -185,7 +210,7 @@ pub fn run_inference_faulted(
     let dm = deploy(&mut dev, qm).expect("model must fit in FRAM");
     dm.load_input(&mut dev, input);
     let base = dev.ops_consumed();
-    dev.arm_faults(&FaultPlan::at_each(plan.targets().iter().map(|t| base + t)));
+    dev.arm_faults(&plan.shifted(base));
     run_deployed(&mut dev, &dm, backend)
 }
 
@@ -199,6 +224,7 @@ pub fn run_inference_faulted(
 /// double-counted for every run after the first).
 pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> InferenceOutcome {
     dev.begin_epoch();
+    dev.reset_corruption_stats();
     // Runtime construction allocates per-run working state (TAILS SRAM
     // staging buffers, the Alpaca commit log); rewind it afterwards so a
     // reused deployment links every run against the identical layout
@@ -235,6 +261,7 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
     };
     let trace = dev.epoch_report();
     dev.rewind_allocs(alloc_marks);
+    let corruption_detected = dev.corruption_detected();
     match result {
         Ok(stats) => {
             let output = dm.read_output(dev);
@@ -250,20 +277,39 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
                 error: None,
                 starved_region: None,
                 brownout: None,
+                corruption_detected,
+                corrupted: None,
+                non_termination_task: None,
             }
         }
-        Err(e) => InferenceOutcome {
-            backend: backend.label(),
-            power: power_label,
-            completed: false,
-            output: Vec::new(),
-            class: None,
-            trace,
-            stats: None,
-            error: Some(e.to_string()),
-            starved_region: Some(starved_region_name(dev)),
-            brownout: brownout_record(dev),
-        },
+        Err(e) => {
+            let corrupted = match &e {
+                RunError::Corrupted { region, .. } => Some(Corrupted {
+                    detected: corruption_detected,
+                    region: region.clone(),
+                }),
+                _ => None,
+            };
+            let non_termination_task = match &e {
+                RunError::NonTermination { task, .. } => Some(task.clone()),
+                _ => None,
+            };
+            InferenceOutcome {
+                backend: backend.label(),
+                power: power_label,
+                completed: false,
+                output: Vec::new(),
+                class: None,
+                trace,
+                stats: None,
+                error: Some(e.to_string()),
+                starved_region: Some(starved_region_name(dev)),
+                brownout: brownout_record(dev),
+                corruption_detected,
+                corrupted,
+                non_termination_task,
+            }
+        }
     }
 }
 

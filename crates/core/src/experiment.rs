@@ -39,7 +39,7 @@ use crate::fleet::{
 };
 use dnn::quant::QLayer;
 use fxp::Q15;
-use mcu::{DeviceSpec, HarvestProfile, Op, PowerSystem};
+use mcu::{DeviceSpec, FaultKind, HarvestProfile, Op, PowerSystem};
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -151,6 +151,17 @@ pub struct RunRecord {
     pub brownout: Option<String>,
     /// Error message for runs that did not complete.
     pub error: Option<String>,
+    /// Silent-data-corruption verdict for fault-injected runs
+    /// ([`FleetRun::sdc`]); `None` for fault-free jobs and DNC runs.
+    pub sdc: Option<bool>,
+    /// Corruption detections the integrity guards raised during the run.
+    pub corruption_detected: u64,
+    /// Region of an unrecoverable-corruption abort, when the run ended
+    /// in `RunError::Corrupted`.
+    pub corrupted_region: Option<String>,
+    /// Offending task name when the run ended in
+    /// `RunError::NonTermination`.
+    pub non_termination_task: Option<String>,
 }
 
 impl RunRecord {
@@ -169,7 +180,22 @@ impl RunRecord {
             starved_region: r.outcome.starved_region.clone(),
             brownout: r.outcome.brownout.as_ref().map(|b| b.to_string()),
             error: r.outcome.error.clone(),
+            sdc: r.sdc,
+            corruption_detected: r.outcome.corruption_detected,
+            corrupted_region: r.outcome.corrupted.as_ref().map(|c| c.region.clone()),
+            non_termination_task: r.outcome.non_termination_task.clone(),
         }
+    }
+
+    /// Whether the record carries any fault forensics. Fault-free
+    /// records have none and encode to the legacy 13-token line, so
+    /// fault-free shard files stay byte-identical to pre-fault-layer
+    /// builds.
+    fn has_forensics(&self) -> bool {
+        self.sdc.is_some()
+            || self.corruption_detected > 0
+            || self.corrupted_region.is_some()
+            || self.non_termination_task.is_some()
     }
 
     /// The record's one-line on-disk form (space-separated tokens;
@@ -190,7 +216,7 @@ impl RunRecord {
             let vals: Vec<String> = self.output.iter().map(|x| x.to_string()).collect();
             format!("={}", vals.join(","))
         };
-        format!(
+        let mut line = format!(
             "run {} {} {} {} {} {:016x} {} {} {} {} {} {}",
             self.input_index,
             self.completed as u8,
@@ -204,13 +230,25 @@ impl RunRecord {
             opt_str(&self.starved_region),
             opt_str(&self.brownout),
             opt_str(&self.error),
-        )
+        );
+        if self.has_forensics() {
+            line.push_str(&format!(
+                " {} {} {} {}",
+                opt_bool(self.sdc),
+                self.corruption_detected,
+                opt_str(&self.corrupted_region),
+                opt_str(&self.non_termination_task),
+            ));
+        }
+        line
     }
 
     /// Parses one `run` line back into a record.
     fn decode_line(line: &str) -> Result<Self, String> {
         let t: Vec<&str> = line.split(' ').collect();
-        if t.len() != 13 || t[0] != "run" {
+        // 13 tokens = legacy fault-free record; 17 = with the trailing
+        // fault-forensics block.
+        if !(t.len() == 13 || t.len() == 17) || t[0] != "run" {
             return Err(format!("malformed run record: {line:?}"));
         }
         let num = |s: &str| {
@@ -265,6 +303,14 @@ impl RunRecord {
             starved_region: opt_str(t[10])?,
             brownout: opt_str(t[11])?,
             error: opt_str(t[12])?,
+            sdc: if t.len() == 17 {
+                opt_bool(t[13])?
+            } else {
+                None
+            },
+            corruption_detected: if t.len() == 17 { num(t[14])? } else { 0 },
+            corrupted_region: if t.len() == 17 { opt_str(t[15])? } else { None },
+            non_termination_task: if t.len() == 17 { opt_str(t[16])? } else { None },
         })
     }
 }
@@ -482,6 +528,31 @@ pub fn job_hash(job: &FleetJob<'_>) -> u64 {
         hash_power(&mut h, p);
     }
     h.put(job.replicas as u64);
+    // Fault plans change every run's physics, so they gate resume too.
+    // Fault-free jobs (`None`) hash exactly as before the fault layer
+    // existed, keeping old experiment directories resumable.
+    if let Some(plan) = &job.faults {
+        h.put(0xfa17);
+        h.put(plan.targets().len() as u64);
+        for &(t, kind) in plan.targets() {
+            h.put(t);
+            match kind {
+                FaultKind::BitFlip { addr, bit } => {
+                    h.put(1);
+                    h.put(addr.index() as u64);
+                    h.put(bit as u64);
+                }
+                FaultKind::StuckAt { addr, bit, high } => {
+                    h.put(2);
+                    h.put(addr.index() as u64);
+                    h.put(bit as u64);
+                    h.put(high as u64);
+                }
+                FaultKind::Brownout => h.put(3),
+                FaultKind::TornWrite => h.put(4),
+            }
+        }
+    }
     h.finish()
 }
 
@@ -865,6 +936,17 @@ fn summarize_records(
         energy_mj: stats(&metric(&|r| r.total_energy_pj as f64 * 1e-9)),
         reboots: stats(&metric(&|r| r.reboots as f64)),
         starved,
+        sdc: records.iter().filter(|r| r.sdc == Some(true)).count(),
+        corruption_detected: records.iter().map(|r| r.corruption_detected).sum(),
+        corrupted_runs: records
+            .iter()
+            .filter(|r| r.corrupted_region.is_some())
+            .count(),
+        non_termination: records
+            .iter()
+            .filter(|r| r.non_termination_task.is_some())
+            .count(),
+        non_termination_task: records.iter().find_map(|r| r.non_termination_task.clone()),
     }
 }
 
@@ -956,6 +1038,7 @@ mod tests {
             ],
             powers: vec![PowerSystem::continuous(), PowerSystem::cap_100uf()],
             replicas,
+            faults: None,
         }
     }
 
@@ -974,6 +1057,10 @@ mod tests {
             starved_region: Some("fc".into()),
             brownout: Some("natural op#91 (FramWrite/Kernel) in fc — 100% á".into()),
             error: Some("supply dead: buffer 8e-6 F never recharges\nline2 =%-".into()),
+            sdc: None,
+            corruption_detected: 0,
+            corrupted_region: None,
+            non_termination_task: None,
         };
         let line = rec.encode_line();
         assert!(!line.contains('\n'), "records are single lines: {line:?}");
@@ -992,6 +1079,10 @@ mod tests {
             starved_region: None,
             brownout: None,
             error: Some(String::new()), // Some("") must survive, distinct from None
+            sdc: None,
+            corruption_detected: 0,
+            corrupted_region: None,
+            non_termination_task: None,
         };
         let line = empty.encode_line();
         assert_eq!(RunRecord::decode_line(&line).unwrap(), empty);

@@ -41,7 +41,7 @@ use crate::deploy::{deploy, reset_control_words};
 use crate::exec::{run_deployed, Backend, InferenceOutcome};
 use dnn::quant::QModel;
 use fxp::Q15;
-use mcu::{Device, DeviceSpec, PowerSystem};
+use mcu::{Device, DeviceSpec, FaultPlan, PowerSystem};
 
 /// One input for fleet evaluation: the quantized sensor reading plus its
 /// ground-truth label (when known).
@@ -78,6 +78,16 @@ pub struct FleetJob<'a> {
     /// stream. For any fixed value, serial, parallel, and resumed
     /// execution are bit-identical.
     pub replicas: usize,
+    /// NVM fault schedule armed before *every* run, with op indices
+    /// relative to that run's start (like
+    /// [`crate::exec::run_inference_faulted`]). `None` — the fault-free
+    /// configuration — is bit-identical to a job that never heard of
+    /// fault injection. When armed, each run is also scored against a
+    /// fault-free continuous-power reference of the same backend, so
+    /// [`CellSummary`] can report silent-data-corruption and
+    /// detected-corruption rates. Stuck-at cells persist across a
+    /// replica's runs, as worn FRAM cells do on a real sensor.
+    pub faults: Option<FaultPlan>,
 }
 
 /// One inference of a fleet cell.
@@ -88,6 +98,13 @@ pub struct FleetRun {
     /// `Some(predicted == label)` when both are known; DNC counts as
     /// incorrect in [`CellSummary::accuracy`].
     pub correct: Option<bool>,
+    /// Silent-data-corruption verdict, populated only when the job armed
+    /// a [`FleetJob::faults`] plan: `Some(true)` when the run completed
+    /// with output diverging from its fault-free reference — the
+    /// injected corruption slipped past every guard — `Some(false)` when
+    /// the run completed bit-equal to the reference. `None` for
+    /// fault-free jobs and for runs that did not complete.
+    pub sdc: Option<bool>,
     /// The full per-run outcome (epoch-delta trace included).
     pub outcome: InferenceOutcome,
 }
@@ -140,6 +157,22 @@ pub struct CellSummary {
     /// run completed. GENESIS's fleet scoring uses this to point the
     /// search at the offending layer.
     pub starved: Vec<(String, u64)>,
+    /// Completed runs whose output silently diverged from the fault-free
+    /// reference (see [`FleetRun::sdc`]); always 0 on fault-free jobs.
+    pub sdc: usize,
+    /// Total corruption detections by the integrity guards across every
+    /// run of the cell (recovered and unrecoverable alike).
+    pub corruption_detected: u64,
+    /// Runs aborted with an unrecoverable-corruption verdict
+    /// ([`crate::exec::Corrupted`]).
+    pub corrupted_runs: usize,
+    /// Runs that failed with [`RunError::NonTermination`] specifically —
+    /// its own counter, no longer folded into the generic DNC bucket.
+    ///
+    /// [`RunError::NonTermination`]: intermittent::sched::RunError::NonTermination
+    pub non_termination: usize,
+    /// The stuck task of the first non-terminating run, when any.
+    pub non_termination_task: Option<String>,
 }
 
 /// Mean and percentiles of one per-run metric.
@@ -202,6 +235,26 @@ impl FleetCell {
             energy_mj: stats(&metric(&|r| r.outcome.energy_mj())),
             reboots: stats(&metric(&|r| r.outcome.trace.reboots as f64)),
             starved: self.starvation_histogram(),
+            sdc: self.runs.iter().filter(|r| r.sdc == Some(true)).count(),
+            corruption_detected: self
+                .runs
+                .iter()
+                .map(|r| r.outcome.corruption_detected)
+                .sum(),
+            corrupted_runs: self
+                .runs
+                .iter()
+                .filter(|r| r.outcome.corrupted.is_some())
+                .count(),
+            non_termination: self
+                .runs
+                .iter()
+                .filter(|r| r.outcome.non_termination_task.is_some())
+                .count(),
+            non_termination_task: self
+                .runs
+                .iter()
+                .find_map(|r| r.outcome.non_termination_task.clone()),
         }
     }
 
@@ -427,6 +480,7 @@ pub fn run_shard_with(
             let run = FleetRun {
                 input_index: i,
                 correct: inp.label.map(|_| false),
+                sdc: None,
                 outcome: InferenceOutcome {
                     backend: backend.label(),
                     power: power.label(),
@@ -440,6 +494,9 @@ pub fn run_shard_with(
                     // original starving run was executing.
                     starved_region: Some(crate::exec::starved_region_name(&dev)),
                     brownout: crate::exec::brownout_record(&dev),
+                    corruption_detected: 0,
+                    corrupted: None,
+                    non_termination_task: None,
                 },
             };
             on_run(&run);
@@ -447,6 +504,9 @@ pub fn run_shard_with(
             continue;
         }
         dm.load_input(&mut dev, &inp.input);
+        if let Some(plan) = &job.faults {
+            dev.arm_faults(&plan.shifted(dev.ops_consumed()));
+        }
         let outcome = run_deployed(&mut dev, &dm, backend);
         if !outcome.completed {
             reset_control_words(&mut dev, &dm);
@@ -456,15 +516,40 @@ pub fn run_shard_with(
             (Some(_), _, _) => Some(false),
             (None, _, _) => None,
         };
+        // Under injected faults, a completed run is only trustworthy if
+        // it matches the fault-free reference: a completed-but-diverged
+        // run is a silent data corruption — the failure mode the
+        // integrity guards exist to eliminate.
+        let sdc = match &job.faults {
+            Some(_) if outcome.completed => {
+                let reference = fault_free_output(job, backend, &inp.input);
+                Some(reference.as_deref() != Some(outcome.output.as_slice()))
+            }
+            _ => None,
+        };
         let run = FleetRun {
             input_index: i,
             correct,
+            sdc,
             outcome,
         };
         on_run(&run);
         runs.push(run);
     }
     runs
+}
+
+/// Fault-free reference output for `input` under `backend`: a fresh
+/// continuous-power deployment, no faults armed. Every backend is pinned
+/// bit-equal between continuous and intermittent execution, so this is
+/// *the* correct output on any power system. `None` when even the
+/// reference does not complete.
+fn fault_free_output(job: &FleetJob<'_>, backend: &Backend, input: &[Q15]) -> Option<Vec<Q15>> {
+    let mut dev = Device::new(job.spec.clone(), PowerSystem::continuous());
+    let dm = deploy(&mut dev, job.qmodel).expect("model must fit in FRAM");
+    dm.load_input(&mut dev, input);
+    let out = run_deployed(&mut dev, &dm, backend);
+    out.completed.then_some(out.output)
 }
 
 /// Groups per-shard run vectors (given in [`plan_shards`] order) back
@@ -599,6 +684,7 @@ mod tests {
             ],
             powers: vec![PowerSystem::continuous(), PowerSystem::cap_100uf()],
             replicas: 1,
+            faults: None,
         }
     }
 

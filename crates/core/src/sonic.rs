@@ -48,16 +48,44 @@ use fxp::{Accum, Q15};
 use intermittent::task::{TaskGraph, Transition};
 use mcu::{Device, FramBuf, Op, OpBundle, Phase, PowerFailure};
 
+/// Reads a control word under the ECC integrity guard, charging exactly
+/// like a plain [`Device::load_word`] when the check bits pass. A read
+/// that flags corruption is scrubbed back to its last durable (checked)
+/// value and the caller resumes from that checkpoint; corruption that
+/// keeps re-flagging (a stuck control cell) exhausts the device's
+/// bounded retry budget, after which the run aborts as unrecoverable.
+/// Does not touch the accounting context — callers charge the read
+/// under whatever (region, phase) is current.
+pub(crate) fn load_guarded(
+    dev: &mut Device,
+    w: mcu::FramWord,
+    region: mcu::RegionId,
+) -> Result<u16, PowerFailure> {
+    let v = dev.load_word(w)?;
+    if dev.verify_word(w) {
+        return Ok(v);
+    }
+    if !dev.note_corruption(region) {
+        return Err(PowerFailure);
+    }
+    let fixed = dev
+        .guarded_intended(w.addr())
+        .expect("a flagged word is guarded");
+    // The scrub write is real (metered) work: ECC correction writes the
+    // repaired word back through the FRAM controller.
+    dev.store_word(w, fixed)?;
+    Ok(fixed)
+}
+
 /// Reads a control word (loop continuation state) with control-phase
-/// accounting.
-fn load_ctl(
+/// accounting, under the ECC integrity guard (see [`load_guarded`]).
+pub(crate) fn load_ctl(
     dev: &mut Device,
     w: mcu::FramWord,
     region: mcu::RegionId,
 ) -> Result<u16, PowerFailure> {
     dev.set_context(region, Phase::Control);
-    let v = dev.load_word(w)?;
-    Ok(v)
+    load_guarded(dev, w, region)
 }
 
 /// Writes a control word with control-phase accounting (the FRAM writes

@@ -42,7 +42,9 @@ use dnn::quant::QModel;
 use fxp::Q15;
 use intermittent::alpaca::AlpacaRt;
 use intermittent::sched::{run_observed, FailureEvent, RunStats, SchedulerConfig};
-use mcu::{Device, DeviceSpec, FaultPlan, FramWord, Phase, PowerSystem, RegionId};
+use mcu::{
+    Device, DeviceSpec, FaultKind, FaultPlan, FramWord, NvAddr, Phase, PowerSystem, RegionId,
+};
 
 /// Which persistent-state discipline a backend's concrete state follows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -813,6 +815,260 @@ pub fn check_strided(
     report
 }
 
+// ---------------------------------------------------------------------
+// The corruption-differential harness (NVM data faults, not brown-outs).
+// ---------------------------------------------------------------------
+
+/// End-to-end effect of one injected NVM bit flip, classified
+/// differentially against the fault-free run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorruptionOutcome {
+    /// Completed with bit-identical output and the guards never fired:
+    /// the flip landed on a word whose value was dead or overwritten
+    /// before its next use.
+    Masked,
+    /// The guards detected the corruption and the run still completed
+    /// with bit-identical output (scrubbed from the ECC shadow).
+    Recovered {
+        /// Guard detections noted during the run.
+        detections: u64,
+    },
+    /// Detected but unrecoverable: the run aborted with a `Corrupted`
+    /// verdict instead of emitting a wrong answer.
+    Aborted {
+        /// Region (layer/task) where recovery was abandoned.
+        region: String,
+    },
+    /// The run did not complete and the guards never saw the flip
+    /// (e.g. a wedged loop caught by the scheduler's progress bound).
+    Wedged,
+    /// Completed with a **wrong** output and no abort: silent data
+    /// corruption. The corruption theorem forbids this for every
+    /// guarded control/commit word.
+    SilentWrong,
+    /// The armed flip never fired: the run ended before its op index.
+    Unfired,
+}
+
+/// One classified flip, for forensic reporting.
+#[derive(Clone, Debug)]
+pub struct CorruptionCase {
+    /// Stable name of the word the flip targeted (`layer0.idx`, ...).
+    pub word: String,
+    /// Bit position flipped.
+    pub bit: u8,
+    /// Inference-relative charged-op index the flip was armed at.
+    pub op_index: u64,
+    /// What happened.
+    pub outcome: CorruptionOutcome,
+}
+
+/// The result of a bit-flip sweep over one backend's control/commit
+/// words.
+#[derive(Clone, Debug)]
+pub struct CorruptionReport {
+    /// Backend label.
+    pub backend: String,
+    /// Total flips injected.
+    pub flips: u64,
+    /// Flips with no observable effect.
+    pub masked: u64,
+    /// Flips detected and scrubbed, output unaffected.
+    pub recovered: u64,
+    /// Flips that aborted the run with a `Corrupted` verdict.
+    pub aborted: u64,
+    /// Flips that wedged the run without detection.
+    pub wedged: u64,
+    /// Armed flips that never fired.
+    pub unfired: u64,
+    /// Silent-wrong-output cases — must be empty for guarded words.
+    pub silent_wrong: Vec<CorruptionCase>,
+}
+
+impl CorruptionReport {
+    /// Panics, listing every case, if any flip produced a silent wrong
+    /// output.
+    pub fn assert_no_silent_wrong(&self) {
+        assert!(
+            self.silent_wrong.is_empty(),
+            "{} silent-wrong-output case(s) for {} across {} flips:\n{}",
+            self.silent_wrong.len(),
+            self.backend,
+            self.flips,
+            self.silent_wrong
+                .iter()
+                .map(|c| format!("  - {}.bit{} @ op#{}", c.word, c.bit, c.op_index))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Every guarded control word of a deployment, with stable names for
+/// reporting: the TAILS calibration pair plus each layer's loop/stage
+/// words. The Alpaca commit flag (allocated by the runtime, not the
+/// deployment) is appended by [`check_corruption`] for tiled backends.
+pub fn control_words(m: &DeployedModel) -> Vec<(String, FramWord)> {
+    let mut ws = vec![
+        ("calib".to_string(), m.calib),
+        ("calib_cand".to_string(), m.calib_cand),
+    ];
+    for (i, l) in m.layers.iter().enumerate() {
+        for (n, w) in [
+            ("idx", l.idx),
+            ("pos", l.pos),
+            ("filt", l.filt),
+            ("undo_val", l.undo_val),
+            ("undo_tag", l.undo_tag),
+        ] {
+            ws.push((format!("layer{i}.{n}"), w));
+        }
+    }
+    ws
+}
+
+/// An **unguarded** activation word (the first word of the first
+/// layer's source buffer): the sweep's teeth control. Flipping it
+/// mid-run must classify as [`CorruptionOutcome::SilentWrong`], proving
+/// the differential classifier can actually see silent corruption.
+pub fn unguarded_activation_addr(m: &DeployedModel) -> NvAddr {
+    m.buf(m.layers[0].src).addr(0)
+}
+
+/// Classifies an arbitrary schedule of injected faults
+/// (inference-relative charged-op indices): runs the inference on
+/// continuous power with the whole plan armed, and compares the outcome
+/// against the fault-free output `expected`. Brown-outs in the plan cut
+/// power at their boundary; memory faults land without a reboot.
+pub fn classify_faults(
+    qm: &QModel,
+    input: &[Q15],
+    spec: &DeviceSpec,
+    backend: &Backend,
+    faults: &[(u64, FaultKind)],
+    expected: &[Q15],
+) -> CorruptionOutcome {
+    let mut dev = Device::new(spec.clone(), PowerSystem::continuous());
+    let dm = deploy(&mut dev, qm).expect("model must fit in FRAM");
+    dm.load_input(&mut dev, input);
+    let base = dev.ops_consumed();
+    dev.arm_faults(&FaultPlan::faults(
+        faults.iter().map(|&(t, f)| (base + t, f)),
+    ));
+    let out = crate::exec::run_deployed(&mut dev, &dm, backend);
+    if dev.pending_faults() != 0 {
+        return CorruptionOutcome::Unfired;
+    }
+    if out.completed {
+        if out.output == expected {
+            if out.corruption_detected > 0 {
+                CorruptionOutcome::Recovered {
+                    detections: out.corruption_detected,
+                }
+            } else {
+                CorruptionOutcome::Masked
+            }
+        } else {
+            CorruptionOutcome::SilentWrong
+        }
+    } else if let Some(c) = out.corrupted {
+        CorruptionOutcome::Aborted { region: c.region }
+    } else {
+        CorruptionOutcome::Wedged
+    }
+}
+
+/// Classifies one injected bit flip: [`classify_faults`] with a
+/// single-entry plan of [`FaultKind::BitFlip`] armed at
+/// inference-relative charged-op index `t`.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_flip(
+    qm: &QModel,
+    input: &[Q15],
+    spec: &DeviceSpec,
+    backend: &Backend,
+    addr: NvAddr,
+    bit: u8,
+    t: u64,
+    expected: &[Q15],
+) -> CorruptionOutcome {
+    classify_faults(
+        qm,
+        input,
+        spec,
+        backend,
+        &[(t, FaultKind::BitFlip { addr, bit })],
+        expected,
+    )
+}
+
+/// Exhaustive single-bit-flip sweep over every control/commit word of
+/// the model under `backend`: all 16 bits of each word, each armed at
+/// `points` charged-op boundaries spread evenly across the fault-free
+/// run. The corruption theorem — no guarded-word flip may produce a
+/// silent wrong output — is [`CorruptionReport::assert_no_silent_wrong`].
+///
+/// # Panics
+///
+/// Panics if `points` is zero or the model does not fit in FRAM.
+pub fn check_corruption(
+    qm: &QModel,
+    input: &[Q15],
+    spec: &DeviceSpec,
+    backend: &Backend,
+    points: u64,
+) -> CorruptionReport {
+    assert!(points > 0, "points must be positive");
+    let (expected, ops) = fault_free_reference(qm, input, spec, backend);
+    // Enumerate targets on a probe deployment (the FRAM layout is a
+    // deterministic bump allocation); for tiled backends the Alpaca
+    // commit flag is the next word the runtime allocates after deploy.
+    let mut probe = Device::new(spec.clone(), PowerSystem::continuous());
+    let pm = deploy(&mut probe, qm).expect("model must fit in FRAM");
+    let mut words = control_words(&pm);
+    if matches!(backend, Backend::Tiled(_)) {
+        let flag = probe.fram_alloc_word().expect("FRAM for commit flag");
+        words.push(("commit_flag".to_string(), flag));
+    }
+    let mut report = CorruptionReport {
+        backend: backend.label(),
+        flips: 0,
+        masked: 0,
+        recovered: 0,
+        aborted: 0,
+        wedged: 0,
+        unfired: 0,
+        silent_wrong: Vec::new(),
+    };
+    for (name, w) in &words {
+        for bit in 0..16u8 {
+            for k in 0..points {
+                // Midpoint sampling: never exactly 0 or `ops`, spread
+                // across the run.
+                let t = ops * (2 * k + 1) / (2 * points);
+                let outcome = classify_flip(qm, input, spec, backend, w.addr(), bit, t, &expected);
+                report.flips += 1;
+                match outcome {
+                    CorruptionOutcome::Masked => report.masked += 1,
+                    CorruptionOutcome::Recovered { .. } => report.recovered += 1,
+                    CorruptionOutcome::Aborted { .. } => report.aborted += 1,
+                    CorruptionOutcome::Wedged => report.wedged += 1,
+                    CorruptionOutcome::Unfired => report.unfired += 1,
+                    CorruptionOutcome::SilentWrong => {
+                        report.silent_wrong.push(CorruptionCase {
+                            word: name.clone(),
+                            bit,
+                            op_index: t,
+                            outcome,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -941,6 +1197,55 @@ mod tests {
             assert_eq!(out.crashes, targets.len() as u64, "{b}");
             assert!(out.violations.is_empty(), "{b}: {:?}", out.violations);
         }
+    }
+
+    #[test]
+    fn control_word_flips_never_silently_corrupt_output() {
+        // The corruption theorem on the dense+ReLU model: every bit of
+        // every control/commit word, flipped at boundaries across the
+        // run, is masked, recovered, or aborted — never a silent wrong
+        // output — for all three guarded backends.
+        let (qm, input) = dense_relu_qmodel();
+        for b in [
+            Backend::Sonic,
+            Backend::Tails(crate::exec::TailsConfig::default()),
+            Backend::Tiled(4),
+        ] {
+            let r = check_corruption(&qm, &input, &msp(), &b, 3);
+            r.assert_no_silent_wrong();
+            assert!(r.flips >= 16 * 12 * 3, "{}: {} flips", r.backend, r.flips);
+            assert!(
+                r.masked + r.recovered + r.aborted > 0,
+                "{}: sweep must classify something",
+                r.backend
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_stage_and_undo_flips_never_silently_corrupt_output() {
+        // Same theorem on the pruned-FC model, whose packed sparse
+        // stage word and undo slot are the paper's trickiest control
+        // state.
+        let (qm, input) = tiny_pruned_qmodel();
+        let r = check_corruption(&qm, &input, &msp(), &Backend::Sonic, 2);
+        r.assert_no_silent_wrong();
+    }
+
+    #[test]
+    fn unguarded_activation_flip_is_silent_wrong() {
+        // Teeth control: a high bit of an unguarded activation word,
+        // flipped before the first layer consumes it, must surface as
+        // silent wrong output — proving the classifier can see SDC and
+        // the sweeps above are not vacuously green.
+        let (qm, input) = dense_relu_qmodel();
+        let b = Backend::Sonic;
+        let (expected, _) = fault_free_reference(&qm, &input, &msp(), &b);
+        let mut probe = Device::new(msp(), PowerSystem::continuous());
+        let pm = deploy(&mut probe, &qm).unwrap();
+        let addr = unguarded_activation_addr(&pm);
+        let out = classify_flip(&qm, &input, &msp(), &b, addr, 14, 0, &expected);
+        assert_eq!(out, CorruptionOutcome::SilentWrong);
     }
 
     #[test]

@@ -482,14 +482,14 @@ fn calibrate_task(
     next: Transition,
 ) -> Result<Transition, PowerFailure> {
     dev.set_context(m.other_region, Phase::Control);
-    let done = dev.load_word(m.calib)?;
+    let done = sonic::load_guarded(dev, m.calib, m.other_region)?;
     dev.consume(Op::Branch)?;
     if done != 0 {
         return Ok(next);
     }
     // Halve the candidate on every re-entry (a re-entry with calib still
     // unset means the previous attempt browned out).
-    let prev = dev.load_word(m.calib_cand)?;
+    let prev = sonic::load_guarded(dev, m.calib_cand, m.other_region)?;
     let cand = if prev == 0 {
         CALIB_INITIAL
     } else {
@@ -555,13 +555,13 @@ fn conv_task(
     let groups = nc * kh; // one FIR tap-row per (channel, kernel-row)
 
     dev.set_context(l.region, Phase::Control);
-    let f = dev.load_word(l.filt)? as u32;
+    let f = sonic::load_guarded(dev, l.filt, l.region)? as u32;
     dev.consume(Op::Branch)?;
     if f >= nf {
         dev.store_word(l.filt, 0)?;
         return Ok(next);
     }
-    let g = dev.load_word(l.pos)? as u32;
+    let g = sonic::load_guarded(dev, l.pos, l.region)? as u32;
     dev.consume(Op::Branch)?;
 
     if g >= groups {
@@ -572,7 +572,7 @@ fn conv_task(
         } else {
             m.plane_b
         };
-        let j = dev.load_word(l.idx)? as u32;
+        let j = sonic::load_guarded(dev, l.idx, l.region)? as u32;
         sonic::finish_pass(
             dev,
             l,
@@ -620,7 +620,7 @@ fn conv_task(
         .all(|q| q.is_zero());
     dev.consume(Op::Branch)?;
     if all_zero {
-        let mut oy = dev.load_word(l.idx)? as u32;
+        let mut oy = sonic::load_guarded(dev, l.idx, l.region)? as u32;
         dev.set_context(l.region, Phase::Kernel);
         let row_iter = if g > 0 {
             &bundles.zero_row_rest
@@ -677,7 +677,7 @@ fn conv_task(
     // LEA cannot left-shift: pre-shift taps in software.
     software_shift(dev, sram.taps.slice(0, kw), kw, l.region, &bundles.shift)?;
 
-    let mut oy = dev.load_word(l.idx)? as u32;
+    let mut oy = sonic::load_guarded(dev, l.idx, l.region)? as u32;
     dev.set_context(l.region, Phase::Kernel);
     let row_iter = if g > 0 {
         &bundles.row_rest
@@ -792,9 +792,38 @@ fn dense_task(
     let dst = m.buf(l.dst);
 
     dev.set_context(l.region, Phase::Control);
-    let tile = (dev.load_word(m.calib)?.max(CALIB_MIN) as u32).min(CALIB_INITIAL as u32);
+    // Calibration-word range check, promoted from the spec harness's
+    // post-hoc invariant to a runtime guard: by the time a dense task
+    // runs, calibration has completed, so the word must be in
+    // [CALIB_MIN, CALIB_INITIAL]. An out-of-range value would silently
+    // change the chunking — and thus the layer's fixed-point rounding —
+    // so it is treated as corruption, not clamped: restore the guard's
+    // intended value when it has a valid one, else abort the run as
+    // unrecoverable.
+    let raw = sonic::load_guarded(dev, m.calib, l.region)?;
+    let calib_ok = |v: u16| (CALIB_MIN..=CALIB_INITIAL).contains(&v);
+    let tile = if calib_ok(raw) {
+        raw as u32
+    } else {
+        let intended = dev
+            .guarded_intended(m.calib.addr())
+            .filter(|&v| calib_ok(v));
+        match intended {
+            Some(v) if dev.note_corruption(l.region) => {
+                dev.store_word(m.calib, v)?;
+                v as u32
+            }
+            _ => {
+                // No trustworthy value to restore: spend the remaining
+                // retry budget so the abort is classified as corruption
+                // rather than non-termination, and fail the task.
+                while dev.note_corruption(l.region) {}
+                return Err(PowerFailure);
+            }
+        }
+    };
     let nchunks = in_n.div_ceil(tile);
-    let ci = dev.load_word(l.pos)? as u32;
+    let ci = sonic::load_guarded(dev, l.pos, l.region)? as u32;
     dev.consume(Op::Branch)?;
 
     if ci >= nchunks {
@@ -804,7 +833,7 @@ fn dense_task(
         } else {
             m.plane_b
         };
-        let o = dev.load_word(l.idx)? as u32;
+        let o = sonic::load_guarded(dev, l.idx, l.region)? as u32;
         sonic::finish_pass(
             dev,
             l,
@@ -836,7 +865,7 @@ fn dense_task(
     } else {
         (m.plane_b, m.plane_a)
     };
-    let mut o = dev.load_word(l.idx)? as u32;
+    let mut o = sonic::load_guarded(dev, l.idx, l.region)? as u32;
     dev.set_context(l.region, Phase::Kernel);
     while o < out_n {
         // The weight-row chunk stages into the (tile-sized) inter buffer.

@@ -33,7 +33,7 @@ use dnn::quant::finish_acc;
 use fxp::{Accum, Q15};
 use intermittent::alpaca::AlpacaRt;
 use intermittent::task::{TaskGraph, Transition};
-use mcu::{Device, FramBuf, Op, OpBundle, Phase};
+use mcu::{Device, FramBuf, Op, OpBundle, Phase, PowerFailure};
 
 const ST_ZERO: u16 = 0;
 const ST_ACCUM: u16 = 1;
@@ -66,7 +66,7 @@ fn accum_layer_tiled(
     next: Transition,
     tile: u32,
     is_conv: bool,
-) -> Transition {
+) -> Result<Transition, PowerFailure> {
     // Layer geometry.
     let (nf, ntaps_dense, plane): (u32, u32, u32) = match &l.kind {
         DeployedKind::Conv { dims, .. } => (
@@ -83,17 +83,17 @@ fn accum_layer_tiled(
 
     dev.set_context(l.region, Phase::Kernel);
     let mut budget = tile;
-    let mut stage = rt.ts_load_word_taped(dev, tape, l.undo_tag.addr());
+    let mut stage = rt.ts_load_word_taped(dev, tape, l.undo_tag.addr())?;
     if stage > ST_FINISH {
         stage = ST_ZERO; // deploy initializes the word to UNDO_EMPTY
     }
-    let mut f = rt.ts_load_word_taped(dev, tape, l.filt.addr()) as u32;
+    let mut f = rt.ts_load_word_taped(dev, tape, l.filt.addr())? as u32;
     op_t(tape, Op::Branch);
 
     while budget > 0 {
         match stage {
             ST_ZERO => {
-                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
+                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr())? as u32;
                 while i < plane && budget > 0 {
                     rt.ts_write_taped(tape, acc.addr(i), Q15::ZERO);
                     i += 1;
@@ -121,7 +121,7 @@ fn accum_layer_tiled(
                     }
                     _ => ntaps_dense,
                 };
-                let mut pos = rt.ts_load_word_taped(dev, tape, l.pos.addr()) as u32;
+                let mut pos = rt.ts_load_word_taped(dev, tape, l.pos.addr())? as u32;
                 op_t(tape, Op::Branch);
                 if pos >= ntaps {
                     rt.ts_store_word_taped(tape, l.idx.addr(), 0);
@@ -129,7 +129,7 @@ fn accum_layer_tiled(
                     stage = ST_FINISH;
                     continue;
                 }
-                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
+                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr())? as u32;
                 // Resolve the tap (read-only metadata: direct reads).
                 match &l.kind {
                     DeployedKind::Conv {
@@ -219,7 +219,7 @@ fn accum_layer_tiled(
                     DeployedKind::Dense { bias, shift, .. } => (*bias, *shift),
                     _ => unreachable!(),
                 };
-                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
+                let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr())? as u32;
                 while i < plane && budget > 0 {
                     let partial = Accum::from_q15(rt.ts_read_taped(dev, tape, acc.addr(i)));
                     let b = if is_conv {
@@ -246,7 +246,7 @@ fn accum_layer_tiled(
                         rt.ts_store_word_taped(tape, l.filt.addr(), 0);
                         rt.ts_store_word_taped(tape, l.pos.addr(), 0);
                         rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_ZERO);
-                        return next;
+                        return Ok(next);
                     }
                     rt.ts_store_word_taped(tape, l.filt.addr(), f as u16);
                     rt.ts_store_word_taped(tape, l.undo_tag.addr(), ST_ZERO);
@@ -257,7 +257,7 @@ fn accum_layer_tiled(
             }
         }
     }
-    Transition::To(self_id)
+    Ok(Transition::To(self_id))
 }
 
 /// Sparse FC under Alpaca: the in-place scatter with every access logged.
@@ -271,7 +271,7 @@ fn sparse_dense_tiled(
     self_id: usize,
     next: Transition,
     tile: u32,
-) -> Transition {
+) -> Result<Transition, PowerFailure> {
     let DeployedKind::Dense {
         dims,
         sparse,
@@ -291,14 +291,14 @@ fn sparse_dense_tiled(
 
     dev.set_context(l.region, Phase::Kernel);
     let mut budget = tile;
-    let mut stage = rt.ts_load_word_taped(dev, tape, l.undo_tag.addr());
+    let mut stage = rt.ts_load_word_taped(dev, tape, l.undo_tag.addr())?;
     if stage > ST_FINISH {
         stage = ST_ZERO; // deploy initializes the word to UNDO_EMPTY
     }
     op_t(tape, Op::Branch);
-    match stage {
+    Ok(match stage {
         ST_ZERO => {
-            let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
+            let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr())? as u32;
             while i < out_n && budget > 0 {
                 rt.ts_write_taped(tape, acc.addr(i), Q15::ZERO);
                 i += 1;
@@ -316,8 +316,8 @@ fn sparse_dense_tiled(
             Transition::To(self_id)
         }
         ST_ACCUM => {
-            let mut k = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
-            let mut j = rt.ts_load_word_taped(dev, tape, l.pos.addr()) as u32;
+            let mut k = rt.ts_load_word_taped(dev, tape, l.idx.addr())? as u32;
+            let mut j = rt.ts_load_word_taped(dev, tape, l.pos.addr())? as u32;
             let mut x = rt.ts_read_taped(dev, tape, src.addr(j.min(dims[1] - 1)));
             while k < nnz && budget > 0 {
                 op_t(tape, Op::Branch);
@@ -347,7 +347,7 @@ fn sparse_dense_tiled(
             Transition::To(self_id)
         }
         _ => {
-            let mut o = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
+            let mut o = rt.ts_load_word_taped(dev, tape, l.idx.addr())? as u32;
             while o < out_n && budget > 0 {
                 let partial = Accum::from_q15(rt.ts_read_taped(dev, tape, acc.addr(o)));
                 let b = read_t(dev, tape, *bias, o);
@@ -369,7 +369,7 @@ fn sparse_dense_tiled(
                 Transition::To(self_id)
             }
         }
-    }
+    })
 }
 
 /// Pool/ReLU under Alpaca: tiled loops with logged writes.
@@ -383,11 +383,11 @@ fn map_layer_tiled(
     self_id: usize,
     next: Transition,
     tile: u32,
-) -> Transition {
+) -> Result<Transition, PowerFailure> {
     dev.set_context(l.region, Phase::Kernel);
     let mut budget = tile;
-    let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr()) as u32;
-    match l.kind {
+    let mut i = rt.ts_load_word_taped(dev, tape, l.idx.addr())? as u32;
+    Ok(match l.kind {
         DeployedKind::Pool { kh, kw } => {
             let [c, h, w] = l.in_shape;
             let [_, oh, ow] = l.out_shape;
@@ -436,7 +436,7 @@ fn map_layer_tiled(
         }
         DeployedKind::Flatten => next,
         _ => unreachable!("map layer on accum kind"),
-    }
+    })
 }
 
 fn finish_map(
@@ -496,7 +496,7 @@ pub fn build(m: &DeployedModel, tile: u32) -> TaskGraph<AlpacaRt> {
             let settled = dev.consume_tape(&tape);
             rt.put_tape(tape);
             settled?;
-            Ok(t)
+            t
         });
     }
     if n == 0 {

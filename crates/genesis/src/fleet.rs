@@ -171,6 +171,11 @@ fn score_plan(
                 energy_mj: None,
                 reboots: None,
                 starved: Vec::new(),
+                sdc: 0,
+                corruption_detected: 0,
+                corrupted_runs: 0,
+                non_termination: 0,
+                non_termination_task: None,
             },
         };
     }
@@ -189,6 +194,7 @@ fn score_plan(
         backends: vec![cfg.backend],
         powers: vec![cfg.power.clone()],
         replicas: cfg.replicas,
+        faults: None,
     };
     // A 1×1 fleet: `run_fleet`'s own fan-out degenerates to an inline
     // loop, so nesting it under the per-plan fan-out stays deterministic.

@@ -58,7 +58,25 @@ impl Hasher for AddrHasher {
     }
 }
 
-type AddrMap = HashMap<NvAddr, Q15, BuildHasherDefault<AddrHasher>>;
+/// A redo-log entry: the privatized value plus a per-entry checksum.
+/// The checksum is computed when the entry is appended or updated and
+/// validated by the commit walk: commit must not redo an entry whose
+/// non-volatile cells decayed or were corrupted, because home locations
+/// may already be partially updated and a bogus redo is a silent wrong
+/// write. Computing it rides in the ALU ops the append already charges.
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    v: Q15,
+    ck: u16,
+}
+
+/// The per-entry checksum: an address/value mix, one word like Alpaca's
+/// log metadata.
+fn log_ck(addr: NvAddr, v: Q15) -> u16 {
+    (addr.index() as u16).wrapping_mul(0x9E37) ^ (v.raw() as u16) ^ 0x5A5A
+}
+
+type AddrMap = HashMap<NvAddr, LogEntry, BuildHasherDefault<AddrHasher>>;
 
 /// FRAM words written when a log entry is created (20-bit address pair,
 /// value, bucket link, dirty-list link, size tag, canonical pointer).
@@ -123,10 +141,15 @@ impl AlpacaRt {
     ///
     /// Returns [`AllocError`] if FRAM is exhausted.
     pub fn new(dev: &mut Device) -> Result<Self, AllocError> {
+        let commit_flag = dev.fram_alloc_word()?;
+        // The flag gates commit replay across reboots; register it under
+        // the ECC guard so a decayed/flipped flag is detected at the next
+        // commit rather than trusted.
+        dev.guard_word(commit_flag);
         Ok(AlpacaRt {
             log: AddrMap::default(),
             order: Vec::new(),
-            commit_flag: dev.fram_alloc_word()?,
+            commit_flag,
             committing: false,
             flag_lower_pending: false,
             tape: OpBundle::new(),
@@ -174,7 +197,31 @@ impl AlpacaRt {
 
     /// The pending redo-log entries in append (commit-walk) order.
     pub fn log_entries(&self) -> impl Iterator<Item = (NvAddr, Q15)> + '_ {
-        self.order.iter().map(move |a| (*a, self.log[a]))
+        self.order.iter().map(move |a| (*a, self.log[a].v))
+    }
+
+    /// Fault-injection hook: corrupts the stored checksum of the `k`-th
+    /// (append-order) log entry, as a decayed non-volatile log cell
+    /// would. Returns `false` if the log has no such entry.
+    pub fn poison_log_entry(&mut self, k: usize) -> bool {
+        match self.order.get(k) {
+            Some(a) => {
+                self.log.get_mut(a).expect("ordered entry exists").ck ^= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A commit-walk checksum mismatch: the redo log itself is corrupt.
+    /// There is no durable value to fall back on — home locations may
+    /// already be partially updated — so spend the remaining retry
+    /// budget and fail, surfacing as unrecoverable corruption instead
+    /// of replaying a poisoned commit forever.
+    fn log_corrupt(dev: &mut Device) -> Result<(), PowerFailure> {
+        let region = dev.context().0;
+        while dev.note_corruption(region) {}
+        Err(PowerFailure)
     }
 
     // ----- taped access (bundled accounting) ---------------------------
@@ -200,8 +247,8 @@ impl AlpacaRt {
         // Hit pays a log-entry read, miss the home read: one FramRead
         // either way.
         tape.push(Op::FramRead, Phase::Kernel);
-        if let Some(&v) = self.log.get(&addr) {
-            v
+        if let Some(e) = self.log.get(&addr) {
+            e.v
         } else {
             dev.peek_at(addr)
         }
@@ -212,24 +259,64 @@ impl AlpacaRt {
     /// path).
     pub fn ts_write_taped(&mut self, tape: &mut OpBundle, addr: NvAddr, v: Q15) {
         Self::tape_lookup(tape);
+        let le = LogEntry {
+            v,
+            ck: log_ck(addr, v),
+        };
         match self.log.entry(addr) {
             Entry::Occupied(mut e) => {
                 tape.push_n(Op::FramWrite, Phase::Kernel, 2); // value + dirty flag
                 tape.push(Op::Alu, Phase::Kernel);
-                e.insert(v);
+                e.insert(le);
             }
             Entry::Vacant(e) => {
                 tape.push_n(Op::FramWrite, Phase::Kernel, LOG_ENTRY_WORDS);
                 tape.push_n(Op::Alu, Phase::Kernel, LOOKUP_ALU);
                 self.order.push(addr);
-                e.insert(v);
+                e.insert(le);
             }
         }
     }
 
-    /// Taped [`AlpacaRt::ts_load_word`].
-    pub fn ts_load_word_taped(&mut self, dev: &Device, tape: &mut OpBundle, addr: NvAddr) -> u16 {
-        self.ts_read_taped(dev, tape, addr).raw() as u16
+    /// Taped [`AlpacaRt::ts_load_word`], with the ECC read check the
+    /// scalar path performs in [`AlpacaRt::ts_read`]: control words
+    /// (loop indices, stage tags) load through here, and a corrupted
+    /// home word must be caught before its value steers a task. The
+    /// check itself is free — the controller verifies check bits inside
+    /// the read already on the tape — while a scrub write is real,
+    /// metered work (recorded on the tape, landed eagerly like the
+    /// log: it restores the last durable value, so a failed settle
+    /// re-executes the body against an identical home).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerFailure`] when corruption is detected and the
+    /// device's retry budget is exhausted.
+    pub fn ts_load_word_taped(
+        &mut self,
+        dev: &mut Device,
+        tape: &mut OpBundle,
+        addr: NvAddr,
+    ) -> Result<u16, PowerFailure> {
+        Self::tape_lookup(tape);
+        tape.push(Op::FramRead, Phase::Kernel);
+        if let Some(e) = self.log.get(&addr) {
+            return Ok(e.v.raw() as u16);
+        }
+        let v = dev.peek_at(addr);
+        if dev.verify_at(addr) {
+            return Ok(v.raw() as u16);
+        }
+        let region = dev.context().0;
+        if !dev.note_corruption(region) {
+            return Err(PowerFailure);
+        }
+        let fixed = dev
+            .guarded_intended(addr)
+            .expect("a flagged word is guarded");
+        tape.push(Op::FramWrite, Phase::Kernel);
+        dev.prepaid_write_at(addr, Q15::from_raw(fixed as i16));
+        Ok(fixed)
     }
 
     /// Taped [`AlpacaRt::ts_store_word`].
@@ -257,19 +344,35 @@ impl AlpacaRt {
     }
 
     /// Reads a task-shared word: log hit returns the privatized value,
-    /// miss falls through to the home location.
+    /// miss falls through to the home location. A home read of a
+    /// guarded word is ECC-checked: divergence is scrubbed back to the
+    /// intended value (a metered write) under the device's bounded
+    /// corruption-retry budget.
     ///
     /// # Errors
     ///
-    /// Returns [`PowerFailure`] on brown-out.
+    /// Returns [`PowerFailure`] on brown-out, or when corruption is
+    /// detected and the retry budget is exhausted.
     pub fn ts_read(&mut self, dev: &mut Device, addr: NvAddr) -> Result<Q15, PowerFailure> {
         self.charge_lookup(dev)?;
-        if let Some(&v) = self.log.get(&addr) {
+        if let Some(&e) = self.log.get(&addr) {
             dev.consume(Op::FramRead)?; // the log entry itself
-            Ok(v)
-        } else {
-            dev.read_at(addr)
+            return Ok(e.v);
         }
+        let v = dev.read_at(addr)?;
+        if dev.verify_at(addr) {
+            return Ok(v);
+        }
+        let region = dev.context().0;
+        if !dev.note_corruption(region) {
+            return Err(PowerFailure);
+        }
+        let fixed = Q15::from_raw(
+            dev.guarded_intended(addr)
+                .expect("a flagged word is guarded") as i16,
+        );
+        dev.write_at(addr, fixed)?;
+        Ok(fixed)
     }
 
     /// Writes a task-shared word into the redo log (privatization). The
@@ -290,7 +393,13 @@ impl AlpacaRt {
             dev.consume_n(Op::Alu, LOOKUP_ALU)?;
             self.order.push(addr);
         }
-        self.log.insert(addr, v);
+        self.log.insert(
+            addr,
+            LogEntry {
+                v,
+                ck: log_ck(addr, v),
+            },
+        );
         Ok(())
     }
 
@@ -326,6 +435,12 @@ impl RuntimeCtx for AlpacaRt {
         if !self.committing {
             self.committing = true;
         }
+        // ECC check of the commit flag before reuse: a flipped flag is
+        // detected here (free — rides in the raise that follows, which
+        // also scrubs it) and counted against the retry budget.
+        if !dev.verify_word(self.commit_flag) && !dev.note_corruption(dev.context().0) {
+            return Err(PowerFailure);
+        }
         // Commit-flag raise (idempotent on replay: same write again).
         dev.store_word(self.commit_flag, 1)?;
         // Fixed task-epilogue bookkeeping (see the constants above).
@@ -348,14 +463,24 @@ impl RuntimeCtx for AlpacaRt {
         while i < total {
             let funded = dev.consume_bundle(entry, (total - i) as u64)? as usize;
             for addr in &self.order[i..i + funded] {
-                dev.prepaid_write_at(*addr, self.log[addr]);
+                let e = self.log[addr];
+                // Checksum validation rides in the entry read the
+                // bundle charged; a mismatch means the log cells
+                // decayed and the redo value cannot be trusted.
+                if e.ck != log_ck(*addr, e.v) {
+                    return Self::log_corrupt(dev);
+                }
+                dev.prepaid_write_at(*addr, e.v);
             }
             i += funded;
             if i < total {
                 let addr = self.order[i];
-                let v = self.log[&addr];
+                let e = self.log[&addr];
                 dev.consume_n(Op::FramRead, 2)?; // read entry (address + value)
-                dev.write_at(addr, v)?; // write home location
+                if e.ck != log_ck(addr, e.v) {
+                    return Self::log_corrupt(dev);
+                }
+                dev.write_at(addr, e.v)?; // write home location
                 dev.consume_n(Op::Incr, 2)?; // list cursor + canonical update
                 i += 1;
             }
@@ -657,6 +782,58 @@ mod tests {
             "the sweep must have crashed inside the raised-flag commit \
              window many times (got {mid_commit_crashes})"
         );
+    }
+
+    #[test]
+    fn poisoned_log_entry_fails_commit_as_unrecoverable() {
+        // A decayed log cell must not be redone into a home location:
+        // the walk detects the checksum mismatch, burns the bounded
+        // retry budget, and fails — never a silent wrong home write.
+        let mut dev = continuous_dev();
+        let words = dev.fram_alloc(3).unwrap();
+        dev.write_at(words.addr(1), Q15::from_raw(7)).unwrap();
+        let mut rt = AlpacaRt::new(&mut dev).unwrap();
+        for k in 0..3u32 {
+            rt.ts_store_word(&mut dev, words.addr(k), 200 + k as u16)
+                .unwrap();
+        }
+        assert!(rt.poison_log_entry(1));
+        assert!(rt.commit(&mut dev).is_err());
+        assert!(
+            dev.corruption_unrecoverable().is_some(),
+            "log corruption has no durable fallback"
+        );
+        assert!(dev.corruption_detected() >= 1);
+        assert_ne!(
+            dev.peek_at(words.addr(1)).raw(),
+            201,
+            "the poisoned entry's redo must not land"
+        );
+    }
+
+    #[test]
+    fn flipped_commit_flag_is_detected_and_scrubbed() {
+        let mut dev = continuous_dev();
+        let w = dev.fram_alloc_word().unwrap();
+        let mut rt = AlpacaRt::new(&mut dev).unwrap();
+        // Flip the idle (low) flag high at the next op boundary — the
+        // raised-while-idle state the crash-consistency spec forbids.
+        let flag = rt.commit_flag_word();
+        dev.arm_faults(&mcu::FaultPlan::faults([(
+            dev.ops_consumed(),
+            mcu::FaultKind::BitFlip {
+                addr: flag.addr(),
+                bit: 0,
+            },
+        )]));
+        rt.ts_store_word(&mut dev, w.addr(), 9).unwrap();
+        assert_eq!(dev.peek_word(flag), 1, "fault must have fired");
+        rt.commit(&mut dev).unwrap();
+        rt.after_commit(&mut dev);
+        assert_eq!(dev.corruption_detected(), 1, "flip seen at commit");
+        assert!(dev.corruption_unrecoverable().is_none());
+        assert_eq!(dev.peek_word(flag), 0, "flag lowered after commit");
+        assert_eq!(dev.peek_word(w), 9);
     }
 
     #[test]

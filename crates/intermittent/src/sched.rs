@@ -115,6 +115,16 @@ pub enum RunError {
         /// Name of the task that was running when the supply died.
         task: String,
     },
+    /// Integrity guards detected NVM corruption that bounded-retry
+    /// recovery could not clear ([`Device::corruption_unrecoverable`]).
+    /// Continuing would risk a silently wrong inference, so the run
+    /// aborts with the corruption's location instead of an answer.
+    Corrupted {
+        /// Name of the task that was running when recovery was abandoned.
+        task: String,
+        /// Name of the accounting region the corruption was detected in.
+        region: String,
+    },
 }
 
 impl core::fmt::Display for RunError {
@@ -130,6 +140,10 @@ impl core::fmt::Display for RunError {
             RunError::SupplyDead { task } => write!(
                 f,
                 "supply dead: task `{task}` lost power and the harvest profile never recharges"
+            ),
+            RunError::Corrupted { task, region } => write!(
+                f,
+                "unrecoverable NVM corruption in `{region}` (task `{task}` abandoned recovery)"
             ),
         }
     }
@@ -290,6 +304,20 @@ fn handle_failure<C: RuntimeCtx>(
     transitions_now: u64,
     observer: &mut impl FnMut(&Device, &C, FailureEvent),
 ) -> Result<(), RunError> {
+    // Unrecoverable NVM corruption: a runtime exhausted its bounded
+    // recovery retries and aborted. Rebooting would resume into the same
+    // corrupted state forever, so surface the verdict instead.
+    if let Some(region) = dev.corruption_unrecoverable() {
+        return Err(RunError::Corrupted {
+            task: graph.name(failed_task).to_string(),
+            region: dev
+                .trace()
+                .region_names()
+                .get(region.index())
+                .cloned()
+                .unwrap_or_else(|| "other".to_string()),
+        });
+    }
     // The crash state: FRAM exactly as the failed op left it, reboot not
     // yet simulated, runtime context not yet notified.
     observer(

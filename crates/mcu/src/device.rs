@@ -19,6 +19,23 @@
 //! writes are atomic (they either happen or they don't), matching FRAM's
 //! word-level write atomicity on real hardware. There is no atomicity
 //! across words: multi-word structures can be torn by a power failure.
+//! The one deliberate exception is an injected [`FaultKind::TornWrite`]:
+//! its brown-out catches the in-flight FRAM store mid-word, landing the
+//! intended value's low byte over the old high byte — the sub-word
+//! tearing real controllers can exhibit when the write pulse is cut.
+//!
+//! # Memory faults and integrity guards
+//!
+//! Beyond clean brown-outs, a [`FaultPlan`] can arm deterministic NVM
+//! data faults ([`FaultKind`]): single-bit flips, torn stores, and
+//! stuck-at cells, all addressed on the same charged-op index axis so
+//! schedules stay reproducible. The defense is ECC-style guarding
+//! ([`Device::guard_span`]): legitimate writes transparently refresh a
+//! shadow of each guarded word's intended value, injected faults bypass
+//! it, and [`Device::verify_word`] compares the two on read. Detection,
+//! bounded-retry recovery accounting, and the unrecoverable verdict live
+//! on the device ([`Device::note_corruption`]); the runtimes decide what
+//! to scrub and when to give up.
 
 use crate::bundle::OpBundle;
 use crate::power::PowerSystem;
@@ -126,6 +143,13 @@ impl NvAddr {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// An address from a raw FRAM word index — for fault-injection
+    /// specs (e.g. a command-line `flip:WORD:BIT@OP`) that name cells
+    /// numerically rather than through typed handles.
+    pub fn word(index: u32) -> NvAddr {
+        NvAddr(index)
+    }
 }
 
 impl FramWord {
@@ -194,46 +218,123 @@ impl FramBuf {
     }
 }
 
+/// The kind of fault a [`FaultPlan`] target injects when the charged-op
+/// stream reaches its index.
+///
+/// Memory faults ([`FaultKind::BitFlip`], [`FaultKind::StuckAt`]) mutate
+/// FRAM *without* interrupting execution: the device keeps running on the
+/// corrupted state, which is exactly the silent-data-corruption hazard
+/// the runtime integrity guards exist to catch. Brown-out-class faults
+/// ([`FaultKind::Brownout`], [`FaultKind::TornWrite`]) cut power at the
+/// target boundary like a natural energy failure.
+///
+/// The derived ordering sorts memory faults before brown-out faults at
+/// the same op index, so a flip armed at the same boundary as a
+/// brown-out lands before the power is cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Flip one bit of the FRAM word at `addr`. Execution continues; the
+    /// guard shadow is *not* updated, so a later ECC read check can see
+    /// the divergence.
+    BitFlip {
+        /// The corrupted word's non-volatile address.
+        addr: NvAddr,
+        /// Bit position in `[0, 16)` (masked).
+        bit: u8,
+    },
+    /// From this op index on, one bit of the word at `addr` is stuck:
+    /// the current value and every subsequent write have the bit forced
+    /// to `high`. Models a worn-out FRAM cell; never heals.
+    StuckAt {
+        /// The stuck word's non-volatile address.
+        addr: NvAddr,
+        /// Bit position in `[0, 16)` (masked).
+        bit: u8,
+        /// The level the cell is stuck at.
+        high: bool,
+    },
+    /// A clean brown-out: energy gone, no memory effect (the historical
+    /// fault model).
+    Brownout,
+    /// A brown-out that tears the in-flight FRAM store: the failing
+    /// word's *low byte* of the new value lands while the high byte
+    /// keeps its old contents — sub-word atomicity violated, exactly
+    /// what the word-atomic FRAM model otherwise rules out. If the
+    /// interrupted op is not an FRAM store, it degrades to a clean
+    /// brown-out.
+    TornWrite,
+}
+
+impl FaultKind {
+    /// `true` when this fault cuts power at its target boundary.
+    pub fn browns_out(self) -> bool {
+        matches!(self, FaultKind::Brownout | FaultKind::TornWrite)
+    }
+}
+
 /// A deterministic fault-injection plan: a set of charged-op indices at
-/// which the device is forced to brown out, regardless of remaining
-/// charge (injection works on continuous power too, which is how the
-/// crash-consistency harness gets exhaustive, recharge-free schedules).
+/// which a fault fires — a forced brown-out, a torn store, a bit flip,
+/// or a stuck-at cell — regardless of remaining charge (injection works
+/// on continuous power too, which is how the crash-consistency harness
+/// gets exhaustive, recharge-free schedules).
 ///
 /// Op indices count every charged operation on the device
 /// ([`Device::ops_consumed`]): scalar consumes, span charges (DMA words,
 /// LEA MACs, block accessors), bundled iterations, and boot charges all
 /// advance the same counter, so an index identifies one exact op
-/// boundary. A target at index `k` means: the first `k` charged ops
-/// execute, and the op that would have been charged `k`-th fails exactly
-/// like a natural brown-out (energy gone, no memory effect). Each target
-/// fires once; boot charges themselves are not interruptible (a reboot
-/// always completes).
+/// boundary. A brown-out target at index `k` means: the first `k`
+/// charged ops execute, and the op that would have been charged `k`-th
+/// fails exactly like a natural brown-out. A memory-fault target at `k`
+/// mutates FRAM at that boundary and lets the `k`-th op proceed. Each
+/// target fires once; boot charges themselves are not interruptible (a
+/// reboot always completes).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// Pending targets, ascending.
-    targets: Vec<u64>,
+    /// Pending targets, ascending by op index (memory faults before
+    /// brown-outs at equal indices).
+    targets: Vec<(u64, FaultKind)>,
 }
 
 impl FaultPlan {
     /// A plan with a single brown-out at charged-op index `op_index`.
     pub fn at(op_index: u64) -> Self {
         FaultPlan {
-            targets: vec![op_index],
+            targets: vec![(op_index, FaultKind::Brownout)],
         }
     }
 
     /// A plan with a brown-out at each of the given charged-op indices
     /// (sorted and deduplicated).
     pub fn at_each(targets: impl IntoIterator<Item = u64>) -> Self {
-        let mut targets: Vec<u64> = targets.into_iter().collect();
+        Self::faults(targets.into_iter().map(|t| (t, FaultKind::Brownout)))
+    }
+
+    /// A plan with an arbitrary mix of fault kinds (sorted by op index,
+    /// exact duplicates removed).
+    pub fn faults(targets: impl IntoIterator<Item = (u64, FaultKind)>) -> Self {
+        let mut targets: Vec<(u64, FaultKind)> = targets.into_iter().collect();
         targets.sort_unstable();
         targets.dedup();
         FaultPlan { targets }
     }
 
-    /// The pending target indices, ascending.
-    pub fn targets(&self) -> &[u64] {
+    /// The same plan with every op index shifted by `base` — rebasing an
+    /// inference-relative schedule onto a device's absolute op counter
+    /// while preserving each target's fault kind.
+    pub fn shifted(&self, base: u64) -> Self {
+        FaultPlan {
+            targets: self.targets.iter().map(|&(t, k)| (t + base, k)).collect(),
+        }
+    }
+
+    /// The pending targets, ascending by op index.
+    pub fn targets(&self) -> &[(u64, FaultKind)] {
         &self.targets
+    }
+
+    /// The pending target op indices, ascending.
+    pub fn indices(&self) -> impl Iterator<Item = u64> + '_ {
+        self.targets.iter().map(|&(t, _)| t)
     }
 
     /// `true` when the plan has no pending targets.
@@ -241,6 +342,13 @@ impl FaultPlan {
         self.targets.is_empty()
     }
 }
+
+/// Bounded-retry budget for corruption recovery: how many detected
+/// corruptions a single device will attempt to recover from before
+/// declaring the state unrecoverable (a stuck-at cell in a control word
+/// re-corrupts on every scrub and must eventually surface as an error
+/// rather than spin forever).
+pub const CORRUPTION_RETRY_LIMIT: u32 = 32;
 
 /// The exact op a brown-out (natural or injected) landed on: the op
 /// class and accounting context of the first operation that did *not*
@@ -281,11 +389,33 @@ pub struct Device {
     /// Total charged operations over the device's lifetime (the op-index
     /// axis [`FaultPlan`] targets live on).
     ops_consumed: u64,
-    /// Pending injected-fault targets, *descending* (pop() yields the
-    /// next target). Empty unless a [`FaultPlan`] is armed.
-    fault_queue: Vec<u64>,
+    /// Pending injected-fault targets, *descending* by op index (pop()
+    /// yields the next target). Empty unless a [`FaultPlan`] is armed.
+    fault_queue: Vec<(u64, FaultKind)>,
     /// The most recent brown-out, natural or injected.
     last_brownout: Option<BrownoutInfo>,
+    /// A fired [`FaultKind::TornWrite`] waiting for its victim: the next
+    /// FRAM store interrupted by the brown-out lands torn. Cleared on
+    /// reboot if no store was in flight.
+    torn_pending: bool,
+    /// Stuck-at cells armed so far: `(addr, bit, high)`. Applied to every
+    /// subsequent write of the matching word.
+    stuck: Vec<(u32, u8, bool)>,
+    /// ECC-style guard shadows, sorted by address: `(addr, intended)`.
+    /// Legitimate writes update the shadow with the value software meant
+    /// to store; injected faults bypass it, so a read-time compare
+    /// detects corruption. Empty (zero overhead) unless guards are
+    /// registered.
+    guard_shadow: Vec<(u32, i16)>,
+    /// Memory faults injected so far (bit flips + stuck-at armings).
+    mem_faults_injected: u64,
+    /// Corruption detections reported via [`Device::note_corruption`].
+    corruption_detected: u64,
+    /// Remaining recovery attempts before corruption is declared
+    /// unrecoverable.
+    corruption_budget: u32,
+    /// Region of the first unrecoverable corruption, if any.
+    unrecoverable: Option<RegionId>,
 }
 
 impl Device {
@@ -310,6 +440,13 @@ impl Device {
             ops_consumed: 0,
             fault_queue: Vec::new(),
             last_brownout: None,
+            torn_pending: false,
+            stuck: Vec::new(),
+            guard_shadow: Vec::new(),
+            mem_faults_injected: 0,
+            corruption_detected: 0,
+            corruption_budget: CORRUPTION_RETRY_LIMIT,
+            unrecoverable: None,
         }
     }
 
@@ -322,9 +459,9 @@ impl Device {
     }
 
     /// Arms a fault-injection plan, replacing any pending targets. Each
-    /// target forces one brown-out at its exact charged-op index (see
-    /// [`FaultPlan`]); an unarmed device behaves bit-identically to one
-    /// that never heard of fault injection.
+    /// target fires once at its exact charged-op index (see
+    /// [`FaultPlan`] and [`FaultKind`]); an unarmed device behaves
+    /// bit-identically to one that never heard of fault injection.
     pub fn arm_faults(&mut self, plan: &FaultPlan) {
         self.fault_queue = plan.targets.clone();
         // Descending, so pop() yields the next (smallest) target.
@@ -451,56 +588,122 @@ impl Device {
         if !self.on {
             return (0, Err(PowerFailure));
         }
-        // Injected faults: when the next armed target falls inside this
-        // span, only the ops before it may execute — reaching the target
-        // forces a brown-out exactly there (continuous power included).
-        let n_allowed = match self.fault_queue.last() {
-            Some(&t) => t.saturating_sub(self.ops_consumed).min(n),
-            None => n,
-        };
-        let cost = self.spec.costs.cost(op);
-        let (fit, starved) = match &self.power {
-            PowerSystem::Continuous => {
-                self.trace.charge(self.region, phase, op, n_allowed, cost);
-                (n_allowed, false)
-            }
-            PowerSystem::Harvested(_) => {
-                let per = cost.energy_pj;
-                debug_assert!(
-                    per > 0 || cost.cycles == 0,
-                    "op {op:?} costs {} cycles but zero energy: a zero-energy op \
-                     executes for free on harvested power, so it must also be \
-                     zero-cycle (fix the cost table)",
-                    cost.cycles
-                );
-                // `checked_div` returns `None` exactly when `per == 0`:
-                // the documented free-execution path.
-                let fit = self
-                    .charge_pj
-                    .checked_div(per)
-                    .map_or(n_allowed, |q| q.min(n_allowed));
-                if fit > 0 {
-                    self.trace.charge(self.region, phase, op, fit, cost);
-                    self.charge_pj -= fit * per;
+        let mut done = 0u64;
+        loop {
+            // Memory faults (bit flips, stuck-at armings) scheduled at or
+            // before the current boundary fire here; execution continues
+            // on the corrupted state. Only brown-out-class faults below
+            // interrupt the charged stream.
+            while let Some(&(t, kind)) = self.fault_queue.last() {
+                if t <= self.ops_consumed && !kind.browns_out() {
+                    self.fault_queue.pop();
+                    self.apply_memory_fault(kind);
+                } else {
+                    break;
                 }
-                (fit, fit < n_allowed)
             }
-        };
-        self.ops_consumed += fit;
-        if starved {
-            // Natural brown-out before the span (or any armed target) was
-            // reached. The interrupted operation's residual charge is
-            // wasted in the brown-out. An armed target beyond this point
-            // stays pending: it only fires if execution reaches it.
-            self.force_brownout(op, phase, false);
-            (fit, Err(PowerFailure))
-        } else if fit < n {
-            // The span reached an armed target: fire it.
-            self.fault_queue.pop();
-            self.force_brownout(op, phase, true);
-            (fit, Err(PowerFailure))
+            let want = n - done;
+            // Injected faults: when the next armed target falls inside
+            // this span, only the ops before it may execute — reaching
+            // the target fires it exactly there (continuous power
+            // included).
+            let n_allowed = match self.fault_queue.last() {
+                Some(&(t, _)) => t.saturating_sub(self.ops_consumed).min(want),
+                None => want,
+            };
+            let cost = self.spec.costs.cost(op);
+            let (fit, starved) = match &self.power {
+                PowerSystem::Continuous => {
+                    self.trace.charge(self.region, phase, op, n_allowed, cost);
+                    (n_allowed, false)
+                }
+                PowerSystem::Harvested(_) => {
+                    let per = cost.energy_pj;
+                    debug_assert!(
+                        per > 0 || cost.cycles == 0,
+                        "op {op:?} costs {} cycles but zero energy: a zero-energy op \
+                         executes for free on harvested power, so it must also be \
+                         zero-cycle (fix the cost table)",
+                        cost.cycles
+                    );
+                    // `checked_div` returns `None` exactly when `per == 0`:
+                    // the documented free-execution path.
+                    let fit = self
+                        .charge_pj
+                        .checked_div(per)
+                        .map_or(n_allowed, |q| q.min(n_allowed));
+                    if fit > 0 {
+                        self.trace.charge(self.region, phase, op, fit, cost);
+                        self.charge_pj -= fit * per;
+                    }
+                    (fit, fit < n_allowed)
+                }
+            };
+            self.ops_consumed += fit;
+            done += fit;
+            if starved {
+                // Natural brown-out before the span (or any armed target)
+                // was reached. The interrupted operation's residual
+                // charge is wasted in the brown-out. An armed target
+                // beyond this point stays pending: it only fires if
+                // execution reaches it.
+                self.force_brownout(op, phase, false);
+                return (done, Err(PowerFailure));
+            }
+            if done < n {
+                // The span reached an armed target.
+                let &(_, kind) = self
+                    .fault_queue
+                    .last()
+                    .expect("a pending target bounded the span");
+                if kind.browns_out() {
+                    self.fault_queue.pop();
+                    if kind == FaultKind::TornWrite {
+                        self.torn_pending = true;
+                    }
+                    self.force_brownout(op, phase, true);
+                    return (done, Err(PowerFailure));
+                }
+                // Memory fault: applied at the top of the next turn, then
+                // charging resumes within the same span.
+                continue;
+            }
+            return (done, Ok(()));
+        }
+    }
+
+    /// Applies a non-brown-out fault effect to FRAM. Injected mutations
+    /// deliberately bypass the guard shadow: that divergence is what the
+    /// ECC read check detects.
+    fn apply_memory_fault(&mut self, kind: FaultKind) {
+        self.mem_faults_injected += 1;
+        match kind {
+            FaultKind::BitFlip { addr, bit } => {
+                let a = addr.0 as usize;
+                if a < self.fram.len() {
+                    self.fram[a] ^= 1i16 << (bit & 15);
+                }
+            }
+            FaultKind::StuckAt { addr, bit, high } => {
+                if (addr.0 as usize) < self.fram.len() {
+                    self.stuck.push((addr.0, bit & 15, high));
+                    self.fram[addr.0 as usize] =
+                        Self::force_bit(self.fram[addr.0 as usize], bit & 15, high);
+                }
+            }
+            FaultKind::Brownout | FaultKind::TornWrite => {
+                unreachable!("brown-out faults fire through force_brownout")
+            }
+        }
+    }
+
+    /// Forces one bit of a raw FRAM word to a level.
+    fn force_bit(v: i16, bit: u8, high: bool) -> i16 {
+        let mask = 1i16 << bit;
+        if high {
+            v | mask
         } else {
-            (fit, Ok(()))
+            v & !mask
         }
     }
 
@@ -585,7 +788,7 @@ impl Device {
         // continuous power.
         let ops_per_iter = bundle.len();
         let iter_cap = match self.fault_queue.last() {
-            Some(&t) => t.saturating_sub(self.ops_consumed) / ops_per_iter,
+            Some(&(t, _)) => t.saturating_sub(self.ops_consumed) / ops_per_iter,
             None => u64::MAX,
         };
         let n_capped = n_iters.min(iter_cap);
@@ -703,6 +906,9 @@ impl Device {
             self.charge_pj = buffer;
         }
         self.on = true;
+        // A torn-write fault whose brown-out caught no FRAM store in
+        // flight degrades to a clean brown-out.
+        self.torn_pending = false;
         // Attribute the power failure to the region that was executing
         // when the buffer emptied: the raw signal behind per-layer DNC
         // (starvation) attribution.
@@ -823,6 +1029,62 @@ impl Device {
         self.spec.fram_words - self.fram_brk
     }
 
+    // ----- NVM write chokepoint ----------------------------------------
+    //
+    // Every *legitimate* FRAM mutation funnels through `nv_store`: it
+    // refreshes the ECC-style guard shadow with the value software
+    // intended to store, then lands the value through any stuck-at
+    // cells. Injected faults mutate `fram` directly (bypassing the
+    // shadow), which is exactly the divergence read-time verification
+    // detects. With no guards and no stuck cells both helpers reduce to
+    // a plain array store, so the fault-free fast path is unchanged.
+
+    /// Stores `v` at raw FRAM index `addr` as a legitimate write.
+    #[inline]
+    fn nv_store(&mut self, addr: u32, v: i16) {
+        if !self.guard_shadow.is_empty() {
+            if let Ok(k) = self.guard_shadow.binary_search_by_key(&addr, |e| e.0) {
+                self.guard_shadow[k].1 = v;
+            }
+        }
+        let v = if self.stuck.is_empty() {
+            v
+        } else {
+            self.stuck_adjust(addr, v)
+        };
+        self.fram[addr as usize] = v;
+    }
+
+    /// Forces every stuck bit registered for `addr` in a value about to
+    /// land there.
+    fn stuck_adjust(&self, addr: u32, mut v: i16) -> i16 {
+        for &(a, bit, high) in &self.stuck {
+            if a == addr {
+                v = Self::force_bit(v, bit, high);
+            }
+        }
+        v
+    }
+
+    /// Applies a pending [`FaultKind::TornWrite`] to the FRAM store the
+    /// brown-out interrupted: the intended value's low byte lands, the
+    /// high byte keeps its old contents. An injected effect, so the
+    /// guard shadow is *not* updated.
+    #[inline]
+    fn maybe_tear(&mut self, addr: u32, intended: i16) {
+        if self.torn_pending {
+            self.torn_pending = false;
+            let old = self.fram[addr as usize];
+            let torn = (old & !0xFF) | (intended & 0xFF);
+            let torn = if self.stuck.is_empty() {
+                torn
+            } else {
+                self.stuck_adjust(addr, torn)
+            };
+            self.fram[addr as usize] = torn;
+        }
+    }
+
     // ----- metered memory access --------------------------------------
 
     /// Reads one Q1.15 word from FRAM.
@@ -845,7 +1107,9 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified —
+    /// unless the brown-out was a [`FaultKind::TornWrite`], which lands
+    /// a half-written word.
     ///
     /// # Panics
     ///
@@ -853,8 +1117,11 @@ impl Device {
     #[inline]
     pub fn write(&mut self, buf: FramBuf, i: u32, v: Q15) -> Result<(), PowerFailure> {
         assert!(i < buf.len, "FRAM write out of bounds: {i} >= {}", buf.len);
-        self.consume(Op::FramWrite)?;
-        self.fram[(buf.base + i) as usize] = v.raw();
+        if let Err(e) = self.consume(Op::FramWrite) {
+            self.maybe_tear(buf.base + i, v.raw());
+            return Err(e);
+        }
+        self.nv_store(buf.base + i, v.raw());
         Ok(())
     }
 
@@ -906,11 +1173,16 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified —
+    /// unless the brown-out was a [`FaultKind::TornWrite`], which lands
+    /// a half-written word.
     #[inline]
     pub fn store_word(&mut self, w: FramWord, v: u16) -> Result<(), PowerFailure> {
-        self.consume(Op::FramWrite)?;
-        self.fram[w.addr as usize] = v as i16;
+        if let Err(e) = self.consume(Op::FramWrite) {
+            self.maybe_tear(w.addr, v as i16);
+            return Err(e);
+        }
+        self.nv_store(w.addr, v as i16);
         Ok(())
     }
 
@@ -952,11 +1224,16 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// Returns [`PowerFailure`] on brown-out; the word is unmodified.
+    /// Returns [`PowerFailure`] on brown-out; the word is unmodified —
+    /// unless the brown-out was a [`FaultKind::TornWrite`], which lands
+    /// a half-written word.
     #[inline]
     pub fn write_at(&mut self, addr: NvAddr, v: Q15) -> Result<(), PowerFailure> {
-        self.consume(Op::FramWrite)?;
-        self.fram[addr.0 as usize] = v.raw();
+        if let Err(e) = self.consume(Op::FramWrite) {
+            self.maybe_tear(addr.0, v.raw());
+            return Err(e);
+        }
+        self.nv_store(addr.0, v.raw());
         Ok(())
     }
 
@@ -992,7 +1269,7 @@ impl Device {
     #[inline]
     pub fn prepaid_write(&mut self, buf: FramBuf, i: u32, v: Q15) {
         assert!(i < buf.len, "FRAM write out of bounds: {i} >= {}", buf.len);
-        self.fram[(buf.base + i) as usize] = v.raw();
+        self.nv_store(buf.base + i, v.raw());
     }
 
     /// Pre-charged SRAM read.
@@ -1026,13 +1303,13 @@ impl Device {
     /// Pre-charged write of a FRAM counter word.
     #[inline]
     pub fn prepaid_store_word(&mut self, w: FramWord, v: u16) {
-        self.fram[w.addr as usize] = v as i16;
+        self.nv_store(w.addr, v as i16);
     }
 
     /// Pre-charged write of a raw FRAM address.
     #[inline]
     pub fn prepaid_write_at(&mut self, addr: NvAddr, v: Q15) {
-        self.fram[addr.0 as usize] = v.raw();
+        self.nv_store(addr.0, v.raw());
     }
 
     // ----- span-charged block access -----------------------------------
@@ -1097,9 +1374,14 @@ impl Device {
             buf.len
         );
         let (fit, r) = self.consume_upto(Op::FramWrite, len as u64);
-        let base = (buf.base + offset) as usize;
+        let base = buf.base + offset;
         for (i, q) in data.iter().take(fit as usize).enumerate() {
-            self.fram[base + i] = q.raw();
+            self.nv_store(base + i as u32, q.raw());
+        }
+        if r.is_err() && (fit as u32) < len {
+            // A torn-write brown-out tears the first word that did NOT
+            // fit: the store the failure interrupted.
+            self.maybe_tear(base + fit as u32, data[fit as usize].raw());
         }
         r
     }
@@ -1173,14 +1455,14 @@ impl Device {
     pub fn flash(&mut self, buf: FramBuf, data: &[Q15]) {
         assert!(data.len() <= buf.len as usize, "flash overflows buffer");
         for (i, q) in data.iter().enumerate() {
-            self.fram[buf.base as usize + i] = q.raw();
+            self.nv_store(buf.base + i as u32, q.raw());
         }
     }
 
     /// Installs a single counter word without consuming energy (flash-time
     /// initialization of runtime control words).
     pub fn flash_word(&mut self, w: FramWord, v: u16) {
-        self.fram[w.addr as usize] = v as i16;
+        self.nv_store(w.addr, v as i16);
     }
 
     /// Host-side snapshot of a FRAM buffer (no energy): the debug port the
@@ -1245,7 +1527,18 @@ impl Device {
         self.consume(Op::DmaSetup)?;
         let (fit, r) = self.consume_upto(Op::DmaWord, src.len as u64);
         let (s, d, n) = (src.base as usize, dst.base as usize, fit as usize);
-        self.fram[d..d + n].copy_from_slice(&self.sram[s..s + n]);
+        if self.guard_shadow.is_empty() && self.stuck.is_empty() {
+            self.fram[d..d + n].copy_from_slice(&self.sram[s..s + n]);
+        } else {
+            for i in 0..n {
+                let v = self.sram[s + i];
+                self.nv_store(dst.base + i as u32, v);
+            }
+        }
+        if r.is_err() && (fit as u32) < dst.len {
+            let v = self.sram[s + n];
+            self.maybe_tear(dst.base + fit as u32, v);
+        }
         r
     }
 
@@ -1311,6 +1604,106 @@ impl Device {
             );
         }
         Ok(acc)
+    }
+
+    // ----- integrity guards (FRAM-controller ECC model) -----------------
+    //
+    // The MSP430's FRAM controller keeps ECC bits beside every word and
+    // corrects/flags on read. The simulator models the check bits as a
+    // host-side shadow of each guarded word's *intended* value: every
+    // legitimate write path refreshes the shadow transparently and for
+    // free (the controller computes ECC inside the write it already
+    // charged), while injected faults (bit flips, stuck cells, torn
+    // stores) mutate the array behind the shadow's back. Runtimes call
+    // [`Device::verify_word`] at control-read chokepoints to surface the
+    // divergence. A device with no registered guards has zero overhead
+    // and bit-identical behavior.
+
+    /// Registers `len` consecutive FRAM words starting at `addr` under
+    /// ECC guarding, snapshotting their current contents as the intended
+    /// values. Re-registering a guarded word refreshes its snapshot.
+    pub fn guard_span(&mut self, addr: NvAddr, len: u32) {
+        for a in addr.0..addr.0 + len {
+            let v = self.fram[a as usize];
+            match self.guard_shadow.binary_search_by_key(&a, |e| e.0) {
+                Ok(k) => self.guard_shadow[k].1 = v,
+                Err(k) => self.guard_shadow.insert(k, (a, v)),
+            }
+        }
+    }
+
+    /// Registers a single counter word under ECC guarding.
+    pub fn guard_word(&mut self, w: FramWord) {
+        self.guard_span(NvAddr(w.addr), 1);
+    }
+
+    /// ECC read check: `true` when the word at `addr` matches its guard
+    /// shadow, or is not guarded at all. No energy: the controller
+    /// verifies check bits inside the read that was already charged.
+    pub fn verify_at(&self, addr: NvAddr) -> bool {
+        match self.guard_shadow.binary_search_by_key(&addr.0, |e| e.0) {
+            Ok(k) => self.guard_shadow[k].1 == self.fram[addr.0 as usize],
+            Err(_) => true,
+        }
+    }
+
+    /// ECC read check of a counter word; see [`Device::verify_at`].
+    pub fn verify_word(&self, w: FramWord) -> bool {
+        self.verify_at(NvAddr(w.addr))
+    }
+
+    /// The guard shadow's intended value for `addr`, if the word is
+    /// guarded — what ECC correction would reconstruct.
+    pub fn guarded_intended(&self, addr: NvAddr) -> Option<u16> {
+        self.guard_shadow
+            .binary_search_by_key(&addr.0, |e| e.0)
+            .ok()
+            .map(|k| self.guard_shadow[k].1 as u16)
+    }
+
+    /// Memory faults injected so far (bit flips fired + stuck-at cells
+    /// armed); brown-outs are counted separately via the trace.
+    pub fn mem_faults_injected(&self) -> u64 {
+        self.mem_faults_injected
+    }
+
+    /// Notes a detected corruption in `region` and spends one recovery
+    /// attempt. Returns `true` while recovery may proceed; returns
+    /// `false` once the bounded-retry budget
+    /// ([`CORRUPTION_RETRY_LIMIT`]) is exhausted, at which point the
+    /// corruption is recorded as unrecoverable and the caller must abort
+    /// rather than retry (a stuck control cell re-corrupts every scrub).
+    pub fn note_corruption(&mut self, region: RegionId) -> bool {
+        self.corruption_detected += 1;
+        if self.corruption_budget == 0 {
+            if self.unrecoverable.is_none() {
+                self.unrecoverable = Some(region);
+            }
+            return false;
+        }
+        self.corruption_budget -= 1;
+        true
+    }
+
+    /// Corruption detections noted since the last
+    /// [`Device::reset_corruption_stats`].
+    pub fn corruption_detected(&self) -> u64 {
+        self.corruption_detected
+    }
+
+    /// The region of the first unrecoverable corruption, if recovery has
+    /// been abandoned.
+    pub fn corruption_unrecoverable(&self) -> Option<RegionId> {
+        self.unrecoverable
+    }
+
+    /// Resets the per-run corruption accounting (detection count, retry
+    /// budget, unrecoverable flag). Injected state — stuck cells, armed
+    /// faults — is untouched.
+    pub fn reset_corruption_stats(&mut self) {
+        self.corruption_detected = 0;
+        self.corruption_budget = CORRUPTION_RETRY_LIMIT;
+        self.unrecoverable = None;
     }
 }
 
@@ -2065,5 +2458,214 @@ mod tests {
         assert_eq!(b.op_index, boot_end, "fires at the first op boundary");
         d.reboot().unwrap();
         run_scalar(&mut d, &seq, 10).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_fires_at_its_index_without_interrupting_execution() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(4).unwrap();
+        d.write(buf, 2, Q15::HALF).unwrap();
+        let ops = d.ops_consumed();
+        // Arm a flip of bit 0 at the very next op boundary.
+        d.arm_faults(&FaultPlan::faults([(
+            ops,
+            FaultKind::BitFlip {
+                addr: buf.addr(2),
+                bit: 0,
+            },
+        )]));
+        // The next op both fires the flip and completes normally.
+        d.consume(Op::Alu).unwrap();
+        assert!(d.is_on(), "memory faults never cut power");
+        assert_eq!(d.pending_faults(), 0);
+        assert_eq!(d.mem_faults_injected(), 1);
+        assert_eq!(d.peek(buf)[2].raw(), Q15::HALF.raw() ^ 1);
+        assert_eq!(d.ops_consumed(), ops + 1, "the op itself was charged");
+    }
+
+    #[test]
+    fn bit_flip_inside_a_span_charge_lands_mid_span() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(8).unwrap();
+        let start = d.ops_consumed();
+        d.arm_faults(&FaultPlan::faults([(
+            start + 3,
+            FaultKind::BitFlip {
+                addr: buf.addr(0),
+                bit: 15,
+            },
+        )]));
+        // An 8-op span: the flip fires after 3 charged ops, then the
+        // remaining 5 charge on — no failure, full span completes.
+        assert!(d.consume_n(Op::FramRead, 8).is_ok());
+        assert_eq!(d.ops_consumed(), start + 8);
+        assert_eq!(d.pending_faults(), 0);
+        assert_eq!(d.peek(buf)[0].raw(), 1i16 << 15);
+    }
+
+    #[test]
+    fn stuck_at_cell_forces_the_bit_on_every_subsequent_write() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(2).unwrap();
+        let ops = d.ops_consumed();
+        d.arm_faults(&FaultPlan::faults([(
+            ops,
+            FaultKind::StuckAt {
+                addr: buf.addr(1),
+                bit: 3,
+                high: true,
+            },
+        )]));
+        d.consume(Op::Alu).unwrap();
+        // Armed: the current value has the bit forced immediately...
+        assert_eq!(d.peek(buf)[1].raw(), 1i16 << 3);
+        // ...and every later write re-forces it, forever.
+        d.write(buf, 1, Q15::ZERO).unwrap();
+        assert_eq!(d.peek(buf)[1].raw(), 1i16 << 3, "cell never heals");
+        d.write(buf, 0, Q15::ZERO).unwrap();
+        assert_eq!(d.peek(buf)[0].raw(), 0, "neighbor words unaffected");
+    }
+
+    #[test]
+    fn torn_write_lands_a_half_written_word_at_the_brownout() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(1).unwrap();
+        d.write(buf, 0, Q15::from_raw(0x1234)).unwrap();
+        let ops = d.ops_consumed();
+        d.arm_faults(&FaultPlan::faults([(ops, FaultKind::TornWrite)]));
+        // The interrupted store: low byte of the new value lands, high
+        // byte keeps the old contents.
+        assert_eq!(d.write(buf, 0, Q15::from_raw(0x56AB)), Err(PowerFailure));
+        assert!(!d.is_on(), "torn write is a brown-out class fault");
+        assert_eq!(d.peek(buf)[0].raw(), 0x12AB);
+        let b = d.last_brownout().unwrap();
+        assert!(b.injected);
+        // The tear is one-shot: after reboot, writes are clean again.
+        d.reboot().unwrap();
+        d.write(buf, 0, Q15::from_raw(0x7FFF)).unwrap();
+        assert_eq!(d.peek(buf)[0].raw(), 0x7FFF);
+    }
+
+    #[test]
+    fn torn_write_on_a_non_store_op_degrades_to_a_clean_brownout() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(1).unwrap();
+        d.write(buf, 0, Q15::HALF).unwrap();
+        let ops = d.ops_consumed();
+        d.arm_faults(&FaultPlan::faults([(ops, FaultKind::TornWrite)]));
+        assert_eq!(d.consume(Op::Alu), Err(PowerFailure));
+        d.reboot().unwrap();
+        // No store was in flight: the pending tear must not leak into
+        // the first write after reboot.
+        d.write(buf, 0, Q15::from_raw(0x0100)).unwrap();
+        assert_eq!(d.peek(buf)[0].raw(), 0x0100);
+    }
+
+    #[test]
+    fn torn_write_tears_the_first_unfunded_word_of_a_dma_store() {
+        let mut d = continuous();
+        let f = d.fram_alloc(4).unwrap();
+        let s = d.sram_alloc(4).unwrap();
+        for i in 0..4 {
+            d.write(f, i, Q15::from_raw(0x1100)).unwrap();
+            d.sram_write(s, i, Q15::from_raw(0x22FF)).unwrap();
+        }
+        // Fault after DmaSetup + 2 DmaWords: words 0-1 land whole, word
+        // 2 lands torn, word 3 is untouched.
+        let ops = d.ops_consumed();
+        d.arm_faults(&FaultPlan::faults([(ops + 3, FaultKind::TornWrite)]));
+        assert_eq!(d.dma_sram_to_fram(s, f), Err(PowerFailure));
+        let out = d.peek(f);
+        assert_eq!(out[0].raw(), 0x22FF);
+        assert_eq!(out[1].raw(), 0x22FF);
+        assert_eq!(out[2].raw(), 0x11FF, "prefix landed, victim torn");
+        assert_eq!(out[3].raw(), 0x1100);
+    }
+
+    #[test]
+    fn guards_detect_injected_faults_but_pass_legitimate_writes() {
+        let mut d = continuous();
+        let w = d.fram_alloc_word().unwrap();
+        d.flash_word(w, 7);
+        d.guard_word(w);
+        assert!(d.verify_word(w));
+        // Legitimate writes — metered, prepaid, flash — track the shadow.
+        d.store_word(w, 19).unwrap();
+        assert!(d.verify_word(w));
+        d.prepaid_store_word(w, 23);
+        assert!(d.verify_word(w));
+        d.flash_word(w, 42);
+        assert!(d.verify_word(w));
+        // An injected flip bypasses the shadow and is detected; the
+        // shadow still knows the intended value.
+        let ops = d.ops_consumed();
+        d.arm_faults(&FaultPlan::faults([(
+            ops,
+            FaultKind::BitFlip {
+                addr: w.addr(),
+                bit: 4,
+            },
+        )]));
+        d.consume(Op::Alu).unwrap();
+        assert!(!d.verify_word(w), "ECC check sees the divergence");
+        assert_eq!(d.guarded_intended(w.addr()), Some(42));
+        // Scrubbing with the intended value restores a clean state.
+        d.store_word(w, 42).unwrap();
+        assert!(d.verify_word(w));
+    }
+
+    #[test]
+    fn corruption_retry_budget_is_bounded() {
+        let mut d = continuous();
+        let region = d.register_region("layer0");
+        for _ in 0..CORRUPTION_RETRY_LIMIT {
+            assert!(d.note_corruption(region), "within budget: may recover");
+        }
+        assert!(!d.note_corruption(region), "budget exhausted");
+        assert_eq!(d.corruption_unrecoverable(), Some(region));
+        assert_eq!(d.corruption_detected(), CORRUPTION_RETRY_LIMIT as u64 + 1);
+        d.reset_corruption_stats();
+        assert_eq!(d.corruption_detected(), 0);
+        assert_eq!(d.corruption_unrecoverable(), None);
+    }
+
+    #[test]
+    fn memory_fault_at_the_same_index_as_a_brownout_fires_first() {
+        let mut d = continuous();
+        let buf = d.fram_alloc(1).unwrap();
+        let ops = d.ops_consumed();
+        d.arm_faults(&FaultPlan::faults([
+            (ops + 1, FaultKind::Brownout),
+            (
+                ops + 1,
+                FaultKind::BitFlip {
+                    addr: buf.addr(0),
+                    bit: 2,
+                },
+            ),
+        ]));
+        d.consume(Op::Alu).unwrap();
+        assert_eq!(d.consume(Op::Alu), Err(PowerFailure));
+        assert_eq!(
+            d.peek(buf)[0].raw(),
+            1i16 << 2,
+            "flip landed before the cut"
+        );
+        assert_eq!(d.pending_faults(), 0);
+    }
+
+    #[test]
+    fn shifted_plan_rebases_indices_and_preserves_kinds() {
+        let flip = FaultKind::BitFlip {
+            addr: NvAddr(3),
+            bit: 1,
+        };
+        let plan = FaultPlan::faults([(2, flip), (7, FaultKind::Brownout)]);
+        let shifted = plan.shifted(100);
+        assert_eq!(
+            shifted.targets(),
+            &[(102, flip), (107, FaultKind::Brownout)]
+        );
+        assert_eq!(shifted.indices().collect::<Vec<_>>(), vec![102, 107]);
     }
 }

@@ -22,10 +22,13 @@
 //!   device's current absolute time, producing the duty-cycled,
 //!   intermittent execution the paper studies ([`power`],
 //!   [`HarvestProfile`]).
-//! - **Deterministic fault injection.** A [`FaultPlan`] forces brown-outs
-//!   at exact charged-op indices — continuous power included — so a
-//!   crash-consistency harness can enumerate every op boundary
-//!   ([`Device::arm_faults`], [`BrownoutInfo`]).
+//! - **Deterministic fault injection.** A [`FaultPlan`] forces brown-outs,
+//!   torn stores, bit flips, and stuck-at cells at exact charged-op
+//!   indices — continuous power included — so a crash-consistency harness
+//!   can enumerate every op boundary ([`Device::arm_faults`],
+//!   [`FaultKind`], [`BrownoutInfo`]), and ECC-style integrity guards let
+//!   runtimes detect the data faults on read ([`Device::guard_span`],
+//!   [`Device::verify_word`]).
 //! - **The LEA vector accelerator and DMA engine**, including LEA's
 //!   restrictions that shape TAILS: it can only access SRAM, supports only
 //!   dense fixed-point operations, and has no vector left-shift
@@ -62,8 +65,8 @@ pub mod trace;
 
 pub use bundle::{BundleOp, OpBundle};
 pub use device::{
-    AllocError, BrownoutInfo, Device, FaultPlan, FramBuf, FramWord, NvAddr, PowerFailure, SramBuf,
-    SramWord, SupplyDead,
+    AllocError, BrownoutInfo, Device, FaultKind, FaultPlan, FramBuf, FramWord, NvAddr,
+    PowerFailure, SramBuf, SramWord, SupplyDead, CORRUPTION_RETRY_LIMIT,
 };
 pub use power::{HarvestProfile, Harvester, PowerSystem};
 pub use spec::{Cost, CostTable, DeviceSpec, Op};

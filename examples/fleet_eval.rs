@@ -18,8 +18,25 @@
 //!     [--out DIR]         # experiments root (default target/experiments)
 //!     [--resume]          # load sealed shards from a killed run
 //!     [--max-shards K]    # stop after K shards (deterministic "kill")
+//!     [--fault SPEC]      # arm an NVM fault on every run (repeatable)
 //!     [my_trace.csv]      # recorded (duration_s, power_w) harvest trace
 //! ```
+//!
+//! `--fault` specs (op indices are charged-op counts from each run's
+//! start; word addresses are raw FRAM word indices):
+//!
+//! ```sh
+//!     --fault flip:WORD:BIT@OP    # XOR bit BIT of FRAM word WORD at op OP
+//!     --fault stuck:WORD:BIT:V@OP # cell bit sticks at V (0|1) from op OP
+//!     --fault torn@OP             # brown-out at OP tears the in-flight store
+//!     --fault brownout@OP         # plain injected brown-out at OP
+//! ```
+//!
+//! With faults armed, the table gains `sdc` (completed runs whose output
+//! diverged from the fault-free reference — silent data corruptions),
+//! `corr-det` (guard detections), and `corrupted` (unrecoverable-
+//! corruption aborts) columns, and the forensics dump below the table
+//! includes per-run corruption records streamed from the shard files.
 //!
 //! The trace defaults to the bundled `data/harvest/office_rf_walkby.csv`;
 //! see the README's "Harvest-trace CSV format" section for the format
@@ -28,7 +45,7 @@
 //! `--resume` and the same flags, and the final digest equals an
 //! uninterrupted run's.
 
-use sonic_tails::mcu::{DeviceSpec, HarvestProfile, PowerSystem};
+use sonic_tails::mcu::{DeviceSpec, FaultKind, FaultPlan, HarvestProfile, PowerSystem};
 use sonic_tails::models::{trained, Network};
 use sonic_tails::sonic::exec::Backend;
 use sonic_tails::sonic::experiment::{run_experiment, ExperimentConfig};
@@ -42,6 +59,38 @@ struct Args {
     resume: bool,
     max_shards: Option<usize>,
     trace_path: String,
+    faults: Vec<(u64, FaultKind)>,
+}
+
+/// Parses one `--fault` spec: `flip:WORD:BIT@OP`, `stuck:WORD:BIT:V@OP`,
+/// `torn@OP`, or `brownout@OP`.
+fn parse_fault(spec: &str) -> (u64, FaultKind) {
+    let bad = || panic!("bad --fault spec {spec:?} (see the example's header comment)");
+    let Some((kind, op)) = spec.rsplit_once('@') else {
+        bad()
+    };
+    let op: u64 = op.parse().unwrap_or_else(|_| bad());
+    let parts: Vec<&str> = kind.split(':').collect();
+    let num = |s: &str| -> u32 { s.parse().unwrap_or_else(|_| bad()) };
+    let fault = match parts.as_slice() {
+        ["flip", w, b] => FaultKind::BitFlip {
+            addr: sonic_tails::mcu::NvAddr::word(num(w)),
+            bit: num(b) as u8,
+        },
+        ["stuck", w, b, v] => FaultKind::StuckAt {
+            addr: sonic_tails::mcu::NvAddr::word(num(w)),
+            bit: num(b) as u8,
+            high: match *v {
+                "0" => false,
+                "1" => true,
+                _ => bad(),
+            },
+        },
+        ["torn"] => FaultKind::TornWrite,
+        ["brownout"] => FaultKind::Brownout,
+        _ => bad(),
+    };
+    (op, fault)
 }
 
 fn parse_args() -> Args {
@@ -53,6 +102,7 @@ fn parse_args() -> Args {
         resume: false,
         max_shards: None,
         trace_path: "data/harvest/office_rf_walkby.csv".to_string(),
+        faults: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -72,6 +122,7 @@ fn parse_args() -> Args {
                     .expect("--replicas: not a number")
             }
             "--experiment" => args.experiment = value(&mut it, "--experiment"),
+            "--fault" => args.faults.push(parse_fault(&value(&mut it, "--fault"))),
             "--out" => args.out = value(&mut it, "--out").into(),
             "--resume" => args.resume = true,
             "--max-shards" => {
@@ -147,6 +198,7 @@ fn main() {
             PowerSystem::harvested_with(1e-3, recorded),
         ],
         replicas: args.replicas,
+        faults: (!args.faults.is_empty()).then(|| FaultPlan::faults(args.faults.iter().copied())),
     };
 
     let cfg = ExperimentConfig {
@@ -161,8 +213,14 @@ fn main() {
         outcome.executed_shards, outcome.loaded_shards, outcome.pending_shards
     );
 
+    let faulted = job.faults.is_some();
+    let fault_cols = if faulted {
+        "sdc   corr-det  corrupted  "
+    } else {
+        ""
+    };
     println!(
-        "impl      power   runs  done  accuracy  p50-total(s)  p95-total(s)  mean-reboots  starved-in"
+        "impl      power   runs  done  nonterm  {fault_cols}accuracy  p50-total(s)  p95-total(s)  mean-reboots  starved-in"
     );
     for cell in &outcome.cells {
         let s = &cell.summary;
@@ -178,12 +236,29 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
+        // Non-terminating runs (commit-loop livelock, not starvation)
+        // get their own column: they are scheduler pathologies, and fold
+        // very differently into a deployment story than a DNC.
+        let nonterm = match (&s.non_termination_task, s.non_termination) {
+            (Some(task), n) => format!("{n}({task})"),
+            (None, _) => "0".to_string(),
+        };
+        let fault_vals = if faulted {
+            format!(
+                "{:<5} {:<9} {:<10} ",
+                s.sdc, s.corruption_detected, s.corrupted_runs
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "{:<9} {:<7} {:<5} {:<5} {:<9} {}  {}  {:<12.1}  {}",
+            "{:<9} {:<7} {:<5} {:<5} {:<8} {}{:<9} {}  {}  {:<12.1}  {}",
             s.backend,
             s.power,
             s.runs,
             s.completed,
+            nonterm,
+            fault_vals,
             s.accuracy.map(|a| format!("{a:.3}")).unwrap_or("-".into()),
             fmt(s.total_secs.map(|t| t.p50)),
             fmt(s.total_secs.map(|t| t.p95)),
@@ -210,6 +285,32 @@ fn main() {
                     cell.backend, cell.power, rec.input_index
                 );
             }
+        }
+    }
+    // Corruption forensics: detections, unrecoverable aborts, and silent
+    // data corruptions per run — also replayed from streamed records.
+    let mut corr_header = false;
+    for cell in &outcome.cells {
+        for rec in &cell.records {
+            if rec.corruption_detected == 0
+                && rec.corrupted_region.is_none()
+                && rec.sdc != Some(true)
+            {
+                continue;
+            }
+            if !corr_header {
+                println!("\ncorruption forensics:");
+                corr_header = true;
+            }
+            let verdict = match (&rec.corrupted_region, rec.sdc) {
+                (Some(region), _) => format!("UNRECOVERABLE in {region}"),
+                (None, Some(true)) => "SILENT WRONG OUTPUT".to_string(),
+                _ => "detected and recovered".to_string(),
+            };
+            println!(
+                "  {:<9} {:<7} input {}: {} detections, {verdict}",
+                cell.backend, cell.power, rec.input_index, rec.corruption_detected
+            );
         }
     }
 

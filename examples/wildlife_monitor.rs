@@ -55,6 +55,7 @@ fn main() {
         backends: vec![Backend::Sonic],
         powers: vec![PowerSystem::cap_100uf()],
         replicas: 1,
+        faults: None,
     };
     let cell = &run_fleet(&job)[0];
     let mut sent = 0;

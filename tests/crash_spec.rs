@@ -16,10 +16,11 @@ use sonic_tails::dnn::layers::Layer;
 use sonic_tails::dnn::model::Model;
 use sonic_tails::dnn::quant::{quantize, QModel};
 use sonic_tails::dnn::tensor::Tensor;
-use sonic_tails::mcu::{Device, DeviceSpec, PowerSystem};
+use sonic_tails::mcu::{Device, DeviceSpec, FaultKind, PowerSystem};
 use sonic_tails::sonic::exec::{Backend, TailsConfig};
 use sonic_tails::sonic::spec::{
-    check_exhaustive, check_model_state, check_schedule, check_strided, fault_free_reference,
+    check_exhaustive, check_model_state, check_schedule, check_strided, classify_faults,
+    control_words, fault_free_reference, CorruptionOutcome,
 };
 
 fn msp() -> DeviceSpec {
@@ -204,5 +205,44 @@ proptest! {
         let out = check_schedule(&qm, &input, &msp(), &backend, &targets, &expected);
         prop_assert_eq!(out.crashes, targets.len() as u64);
         prop_assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    /// A brown-out and a control-word bit flip in one schedule, in
+    /// either order (or coincident): whatever the interleaving, the run
+    /// must end masked, recovered, aborted, or unfired — never a silent
+    /// wrong answer and never an undetected wedge. On failure proptest
+    /// prints the minimized counterexample and its reproduction seed.
+    #[test]
+    fn brownout_plus_bit_flip_never_silently_corrupts(
+        flip_frac in 0.0f64..1.0,
+        bo_frac in 0.0f64..1.0,
+        word_frac in 0.0f64..1.0,
+        bit in 0u8..16,
+        backend_sel in 0usize..3,
+    ) {
+        let (qm, input) = small_qmodel();
+        let backend = match backend_sel {
+            0 => Backend::Sonic,
+            1 => Backend::Tails(TailsConfig::default()),
+            _ => Backend::Tiled(4),
+        };
+        let (expected, ops) = fault_free_reference(&qm, &input, &msp(), &backend);
+        let mut probe = Device::new(msp(), PowerSystem::continuous());
+        let pm = sonic_tails::sonic::deploy(&mut probe, &qm).unwrap();
+        let words = control_words(&pm);
+        let wi = ((word_frac * words.len() as f64) as usize).min(words.len() - 1);
+        let (name, w) = &words[wi];
+        let t_flip = ((flip_frac * ops as f64) as u64).min(ops - 1);
+        let t_bo = ((bo_frac * ops as f64) as u64).min(ops - 1);
+        let plan = [
+            (t_bo, FaultKind::Brownout),
+            (t_flip, FaultKind::BitFlip { addr: w.addr(), bit }),
+        ];
+        let out = classify_faults(&qm, &input, &msp(), &backend, &plan, &expected);
+        prop_assert!(
+            !matches!(out, CorruptionOutcome::SilentWrong | CorruptionOutcome::Wedged),
+            "{}.bit{} flip @#{} with brown-out @#{} under {}: {:?}",
+            name, bit, t_flip, t_bo, backend.label(), out
+        );
     }
 }

@@ -47,6 +47,7 @@ fn job<'a>(qm: &'a QModel, inputs: &[Vec<fxp::Q15>]) -> FleetJob<'a> {
         backends: vec![Backend::Sonic, Backend::Tiled(8)],
         powers: vec![PowerSystem::continuous(), PowerSystem::harvested(6e-6)],
         replicas: 2,
+        faults: None,
     }
 }
 
@@ -56,6 +57,106 @@ fn config(name: &str) -> ExperimentConfig {
         .join("target")
         .join("exp-it-tests");
     cfg
+}
+
+/// A fault-armed experiment streams its forensics to disk and replays
+/// them bit-identically: records carry the SDC verdict and guard
+/// detections, the on-disk digest matches the in-RAM fleet engine, and
+/// a pure-replay invocation reproduces it without re-running anything.
+#[test]
+fn fault_armed_experiment_round_trips_forensics() {
+    use sonic_tails::mcu::{Device, FaultKind, FaultPlan};
+    use sonic_tails::sonic::spec::unguarded_activation_addr;
+
+    let (qm, inputs) = tiny_model();
+    let mut j = job(&qm, &inputs);
+    let mut probe = Device::new(DeviceSpec::msp430fr5994(), PowerSystem::continuous());
+    let pm = sonic_tails::sonic::deploy(&mut probe, &qm).expect("probe deploy");
+    // An unguarded input-word flip early in every run: completed runs
+    // diverge from the fault-free reference and must be recorded as SDC.
+    j.faults = Some(FaultPlan::faults([(
+        1,
+        FaultKind::BitFlip {
+            addr: unguarded_activation_addr(&pm),
+            bit: 14,
+        },
+    )]));
+
+    let armed = run_experiment(&j, &config("it-faults")).expect("armed run");
+    assert!(armed.complete);
+    assert_eq!(
+        armed.digest,
+        fleet_digest(&run_fleet(&j)),
+        "streamed-to-disk digest == in-RAM digest under injected faults"
+    );
+    let records: Vec<_> = armed.cells.iter().flat_map(|c| &c.records).collect();
+    assert!(
+        records.iter().any(|r| r.sdc == Some(true)),
+        "an unguarded flip must produce at least one recorded SDC"
+    );
+
+    let mut replayed = config("it-faults");
+    replayed.resume = true;
+    let replay = run_experiment(&j, &replayed).expect("replay run");
+    assert_eq!(replay.executed_shards, 0, "everything loads from disk");
+    assert_eq!(replay.digest, armed.digest);
+    for (a, b) in armed.cells.iter().zip(&replay.cells) {
+        assert_eq!(a.records, b.records, "forensics survive the disk codec");
+    }
+}
+
+/// A shard file torn at *any* byte boundary — a crash mid-write, a
+/// truncated copy, a half-flushed page — must never poison a resume:
+/// the loader rejects the torn file, exactly that shard re-runs, and
+/// the digest lands bit-identical to the uninterrupted run.
+#[test]
+fn torn_shard_files_self_heal_on_resume_at_every_byte_boundary() {
+    let (qm, inputs) = tiny_model();
+    let j = job(&qm, &inputs);
+    let total_shards = plan_shards(&j).len();
+
+    let clean = run_experiment(&j, &config("it-torn")).expect("clean run");
+    assert!(clean.complete);
+
+    // Tear the continuous-power SONIC shard: its runs are the cheapest
+    // to re-execute a few hundred times over.
+    let victim = config("it-torn")
+        .root
+        .join("it-torn")
+        .join("shards")
+        .join("p000-b000-s0000.runs");
+    let sealed = std::fs::read(&victim).expect("sealed shard bytes");
+    assert!(sealed.len() > 64, "shard file suspiciously small");
+
+    let mut resumed = config("it-torn");
+    resumed.resume = true;
+    for cut in 0..sealed.len() {
+        std::fs::write(&victim, &sealed[..cut]).expect("truncate shard");
+        let healed = run_experiment(&j, &resumed).expect("resume over torn shard");
+        assert!(healed.complete, "cut at byte {cut}");
+        assert_eq!(
+            healed.digest, clean.digest,
+            "digest diverged after tear at byte {cut}"
+        );
+        // Only the final newline is droppable without breaking the
+        // seal; every shorter prefix must force a re-run of exactly
+        // the torn shard.
+        if cut + 1 < sealed.len() {
+            assert_eq!(healed.executed_shards, 1, "cut at byte {cut}");
+            assert_eq!(healed.loaded_shards, total_shards - 1, "cut at byte {cut}");
+            // The re-run re-seals the file bit-identically, so the
+            // next iteration tears the same bytes.
+            assert_eq!(
+                std::fs::read(&victim).expect("re-sealed shard"),
+                sealed,
+                "re-sealed shard bytes diverged after tear at byte {cut}"
+            );
+        } else {
+            // Dropping only the trailing newline leaves every line
+            // intact: the seal still verifies and nothing re-runs.
+            assert!(healed.executed_shards <= 1, "cut at byte {cut}");
+        }
+    }
 }
 
 #[test]

@@ -6,9 +6,10 @@ use sonic_tails::dnn::layers::Layer;
 use sonic_tails::dnn::model::Model;
 use sonic_tails::dnn::quant::{quantize, QModel};
 use sonic_tails::dnn::tensor::Tensor;
-use sonic_tails::mcu::{DeviceSpec, HarvestProfile, PowerSystem};
+use sonic_tails::mcu::{Device, DeviceSpec, FaultKind, FaultPlan, HarvestProfile, PowerSystem};
 use sonic_tails::sonic::exec::Backend;
 use sonic_tails::sonic::fleet::{fleet_digest, run_fleet, run_fleet_serial, FleetInput, FleetJob};
+use sonic_tails::sonic::spec::{fault_free_reference, unguarded_activation_addr};
 
 fn tiny_model() -> (QModel, Vec<Vec<fxp::Q15>>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(55);
@@ -56,6 +57,7 @@ fn job<'a>(qm: &'a QModel, inputs: &[Vec<fxp::Q15>]) -> FleetJob<'a> {
             ),
         ],
         replicas: 1,
+        faults: None,
     }
 }
 
@@ -94,6 +96,78 @@ fn fleet_digest_matches_scalar_golden() {
         d, FLEET_GOLDEN_DIGEST,
         "fleet digest diverged from the scalar accounting path"
     );
+}
+
+/// Fault-armed fleets surface their failure-mode accounting: a flip on
+/// a *guarded* control word is detected (and never counted as silent
+/// data corruption), while the same-schedule flip on an *unguarded*
+/// activation word completes with a diverged output and lands in the
+/// SDC column. Fault injection stays deterministic: two runs of the
+/// same armed job produce identical digests.
+#[test]
+fn fault_armed_fleet_surfaces_detection_and_sdc() {
+    let (qm, inputs) = tiny_model();
+    let spec = DeviceSpec::msp430fr5994();
+    let mut probe = Device::new(spec.clone(), PowerSystem::continuous());
+    let pm = sonic_tails::sonic::deploy(&mut probe, &qm).unwrap();
+    let backend = Backend::Sonic;
+    let (_, ops) = fault_free_reference(&qm, &inputs[0], &spec, &backend);
+
+    let armed_job = |plan: FaultPlan| FleetJob {
+        qmodel: &qm,
+        spec: spec.clone(),
+        inputs: inputs
+            .iter()
+            .map(|i| FleetInput {
+                input: i.clone(),
+                label: Some(1),
+            })
+            .collect(),
+        backends: vec![backend],
+        powers: vec![PowerSystem::continuous()],
+        replicas: 1,
+        faults: Some(plan),
+    };
+
+    // A high bit of the first layer's loop counter, flipped mid-layer,
+    // then a brown-out one op later: recovery re-reads the counter from
+    // FRAM, and the guards must notice before it steers the restart.
+    // (Without the reboot the live register shadows the word and the
+    // next checkpoint store silently overwrites the flip.)
+    let guarded = armed_job(FaultPlan::faults([
+        (
+            ops / 4,
+            FaultKind::BitFlip {
+                addr: pm.layers[0].idx.addr(),
+                bit: 13,
+            },
+        ),
+        (ops / 4 + 1, FaultKind::Brownout),
+    ]));
+    let cells = run_fleet(&guarded);
+    assert_eq!(fleet_digest(&cells), fleet_digest(&run_fleet(&guarded)));
+    let s = cells[0].summarize(&spec);
+    assert!(
+        s.corruption_detected > 0,
+        "guarded control-word flips must be detected: {s:?}"
+    );
+    assert_eq!(s.sdc, 0, "a guarded flip must never be silent: {s:?}");
+
+    // The same schedule against an unguarded activation word: the run
+    // completes, the answer is wrong, and the SDC column says so.
+    let silent = armed_job(FaultPlan::faults([(
+        1,
+        FaultKind::BitFlip {
+            addr: unguarded_activation_addr(&pm),
+            bit: 14,
+        },
+    )]));
+    let s = run_fleet(&silent)[0].summarize(&spec);
+    assert!(
+        s.sdc > 0,
+        "an unguarded input-word flip must surface as SDC: {s:?}"
+    );
+    assert_eq!(s.corruption_detected, 0, "nothing guards that word: {s:?}");
 }
 
 #[test]
