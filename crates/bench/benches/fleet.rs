@@ -7,7 +7,7 @@
 //! Environment knobs:
 //! - `FLEET_INPUTS=n` — inputs per cell (default 8).
 //! - `FLEET_NETS=MNIST,HAR` — comma-separated network filter (default all).
-//! - `FLEET_SCENARIO=flicker,burst,fading` — comma-separated extra named
+//! - `FLEET_SCENARIO=flicker,burst,fading,solar` — comma-separated extra named
 //!   power scenarios (bundled adversarial presets and parameterized
 //!   generators) appended to the power suite; unset leaves the default
 //!   run — and its digest — unchanged.
@@ -18,6 +18,11 @@
 //!   of the same job instead of starting fresh.
 //! - `FLEET_MAX_SHARDS=k` — stop after `k` shards this invocation (the
 //!   resume smoke's deterministic "kill").
+//! - `BATCH_LANES=l` — lockstep batching lane width (default 8 with the
+//!   `batch` feature; `1` forces scalar metering). Results and the fleet
+//!   digest are bit-identical at every width — continuous fault-free
+//!   cells just run `(l-1)/l` of their inferences as data-plane twins
+//!   (see `sonic::lockstep`).
 use bench::report::{save_csv, FleetReport};
 use mcu::DeviceSpec;
 use sonic::experiment::{run_experiment, ExperimentConfig};
@@ -55,12 +60,14 @@ fn main() {
     let spec = DeviceSpec::msp430fr5994();
 
     println!(
-        "== fleet: {} networks x {} power systems x {} backends x {} inputs x {} replicas ==",
+        "== fleet: {} networks x {} power systems x {} backends x {} inputs x {} replicas \
+         (lockstep lanes: {}) ==",
         nets.len(),
         powers.len(),
         backends.len(),
         inputs,
-        replicas
+        replicas,
+        sonic::lockstep::default_lanes()
     );
     let mut report = FleetReport::default();
     let mut digest = 0u64;

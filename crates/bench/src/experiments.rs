@@ -403,6 +403,7 @@ pub fn named_scenario(name: &str) -> Option<PowerSystem> {
         "flicker" => Some(flicker_power()),
         "burst" => Some(burst_power()),
         "fading" => Some(fading_power()),
+        "solar" => Some(solar_power()),
         _ => None,
     }
 }
@@ -429,6 +430,20 @@ pub fn fading_power() -> PowerSystem {
         1e-3,
         HarvestProfile::fading_rf(4.0 * mcu::power::RF_HARVEST_UW * 1e-6, 3.0, 8.0, 16),
     )
+}
+
+/// The `solar` scenario: the bundled indoor-solar diurnal trace
+/// (`data/harvest/indoor_solar_diurnal.csv`) — a desk-mounted PV cell
+/// over one 24 h office day, ~0.5 µW overnight up to a 250 µW midday
+/// peak — on the 1 mF buffer. Where the RF presets stress millisecond
+/// flicker, this one stresses the other extreme: multi-hour outages
+/// with slow, smooth recoveries.
+pub fn solar_power() -> PowerSystem {
+    let profile = HarvestProfile::piecewise_from_csv(include_str!(
+        "../../../data/harvest/indoor_solar_diurnal.csv"
+    ))
+    .expect("bundled indoor-solar preset must parse");
+    PowerSystem::harvested_with(1e-3, profile)
 }
 
 /// One Fig. 9 cell: a single inference of `net` with `backend` on
@@ -924,6 +939,21 @@ mod tests {
         assert!(s.contains("SONIC (loop continuation)"));
         let sonic_line = s.lines().find(|l| l.contains("SONIC")).expect("sonic row");
         assert!(sonic_line.contains("yes"), "{sonic_line}");
+    }
+
+    #[test]
+    fn solar_scenario_is_registered_and_diurnal() {
+        let power = named_scenario("solar").expect("solar scenario registered");
+        let p = power.profile().expect("solar is a harvested scenario");
+        // Diurnal shape: dark at 3 am, peaked near noon, dim evening.
+        assert!(p.power_at(3.0 * 3600.0) < 1e-6);
+        assert!((p.power_at(12.5 * 3600.0) - 250e-6).abs() < 1e-9);
+        assert!(p.power_at(20.0 * 3600.0) < 20e-6);
+        // The cycle is a full day and averages to a daytime-harvest mean
+        // well under the paper's 150 µW RF nominal.
+        let avg = p.avg_power_w();
+        assert!(avg > 20e-6 && avg < 120e-6, "avg {avg}");
+        assert!(named_scenario("SOLAR").is_some(), "names are case-folded");
     }
 
     #[test]

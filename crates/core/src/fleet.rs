@@ -36,9 +36,23 @@
 //! within one deployment (buffer charge, absolute harvest time, TAILS
 //! calibration words), so changing `replicas` may legitimately change
 //! physics — and therefore digests — on state-dependent cells.
+//!
+//! # Lockstep batching and replicas
+//!
+//! Continuous fault-free shards route their runs through
+//! [`crate::lockstep`]: once a shard's per-run trace reaches its fixed
+//! point, most runs execute as bit-exact host twins instead of per-op
+//! metering, with every `lanes`-th run re-metered on the real device.
+//! Batching is *temporal within one shard*: each replica's `BatchRunner`
+//! is private to its deployment, so a replica shard boundary can never
+//! split a batch, and the `replicas` semantics are exactly those of the
+//! scalar engine at any lane width. Harvested cells, faulted jobs, and
+//! non-completing runs always drain scalar; the digests are pinned equal
+//! across lane widths by the test suite.
 
 use crate::deploy::{deploy, reset_control_words};
 use crate::exec::{run_deployed, Backend, InferenceOutcome};
+use crate::lockstep::{self, BatchRunner};
 use dnn::quant::QModel;
 use fxp::Q15;
 use mcu::{Device, DeviceSpec, FaultPlan, PowerSystem};
@@ -459,10 +473,35 @@ pub fn run_shard_with(
     shard: &ShardSpec,
     on_run: &mut dyn FnMut(&FleetRun),
 ) -> Vec<FleetRun> {
+    run_shard_with_lanes(job, shard, lockstep::default_lanes(), on_run)
+}
+
+/// [`run_shard_with`] at an explicit lockstep lane width (the public
+/// entries resolve [`lockstep::default_lanes`]; tests and benches pass
+/// widths directly so the `BATCH_LANES` environment variable never has
+/// to be mutated in-process).
+///
+/// Lane width never changes results — only how many of the shard's runs
+/// the twin path serves (see [`crate::lockstep`]) — and batching is
+/// *temporal within one shard*, so a replica shard boundary can never
+/// split a batch: the [`FleetJob::replicas`] semantics are exactly what
+/// they are at `lanes = 1`. Jobs with an armed fault plan, harvested
+/// cells, and non-completing runs always drain through scalar metering.
+pub fn run_shard_with_lanes(
+    job: &FleetJob<'_>,
+    shard: &ShardSpec,
+    lanes: usize,
+    on_run: &mut dyn FnMut(&FleetRun),
+) -> Vec<FleetRun> {
     let power = job.powers[shard.power_index].clone();
     let backend = &job.backends[shard.backend_index];
     let mut dev = Device::new(job.spec.clone(), power.clone());
     let dm = deploy(&mut dev, job.qmodel).expect("model must fit in FRAM");
+    let mut runner = BatchRunner::new(
+        backend,
+        &power,
+        if job.faults.is_some() { 1 } else { lanes },
+    );
     let mut runs = Vec::with_capacity(shard.len);
     let mut supply_dead = false;
     for i in shard.start..shard.start + shard.len {
@@ -503,11 +542,13 @@ pub fn run_shard_with(
             runs.push(run);
             continue;
         }
-        dm.load_input(&mut dev, &inp.input);
-        if let Some(plan) = &job.faults {
+        let outcome = if let Some(plan) = &job.faults {
+            dm.load_input(&mut dev, &inp.input);
             dev.arm_faults(&plan.shifted(dev.ops_consumed()));
-        }
-        let outcome = run_deployed(&mut dev, &dm, backend);
+            run_deployed(&mut dev, &dm, backend)
+        } else {
+            runner.run(&mut dev, &dm, &inp.input)
+        };
         if !outcome.completed {
             reset_control_words(&mut dev, &dm);
         }
@@ -597,8 +638,16 @@ pub(crate) fn cell_order(job: &FleetJob<'_>) -> Vec<(usize, usize)> {
 /// Cells come back in deterministic `(power, backend)` submission order
 /// and the results are bit-identical with the feature on or off.
 pub fn run_fleet(job: &FleetJob<'_>) -> Vec<FleetCell> {
+    run_fleet_with_lanes(job, lockstep::default_lanes())
+}
+
+/// [`run_fleet`] at an explicit lockstep lane width (see
+/// [`run_shard_with_lanes`]); results are bit-identical for every width.
+pub fn run_fleet_with_lanes(job: &FleetJob<'_>, lanes: usize) -> Vec<FleetCell> {
     let plan = plan_shards(job);
-    let results = par_map(plan.clone(), &|s: ShardSpec| run_shard(job, &s));
+    let results = par_map(plan.clone(), &|s: ShardSpec| {
+        run_shard_with_lanes(job, &s, lanes, &mut |_| {})
+    });
     assemble_cells(job, &plan, results)
 }
 
@@ -917,6 +966,64 @@ mod tests {
         let r4_serial = fleet_digest(&run_fleet_serial(&job));
         assert_eq!(r1, r4, "continuous cells must not see the shard split");
         assert_eq!(r4, r4_serial);
+    }
+
+    #[test]
+    fn lane_width_is_digest_invariant_for_fleets() {
+        // Continuous cells may twin, harvested cells must drain scalar;
+        // either way the fleet digest cannot move with the lane width.
+        let (qm, input) = tiny_pruned_qmodel();
+        let job = tiny_job(&qm, &input, 5);
+        let base = fleet_digest(&run_fleet_with_lanes(&job, 1));
+        for lanes in [2, 4, 8] {
+            let d = fleet_digest(&run_fleet_with_lanes(&job, lanes));
+            assert_eq!(base, d, "lanes={lanes} moved the fleet digest");
+        }
+    }
+
+    #[test]
+    fn faulted_jobs_ignore_lane_width() {
+        use mcu::FaultKind;
+        let (qm, input) = tiny_pruned_qmodel();
+        let mut job = tiny_job(&qm, &input, 3);
+        job.backends = vec![Backend::Sonic];
+        job.faults = Some(FaultPlan::faults([
+            (2_000, FaultKind::Brownout),
+            (
+                5_000,
+                FaultKind::BitFlip {
+                    addr: mcu::NvAddr::word(40),
+                    bit: 3,
+                },
+            ),
+        ]));
+        let base = fleet_digest(&run_fleet_with_lanes(&job, 1));
+        for lanes in [4, 8] {
+            let d = fleet_digest(&run_fleet_with_lanes(&job, lanes));
+            assert_eq!(base, d, "faulted lanes={lanes} moved the digest");
+        }
+    }
+
+    #[test]
+    fn replica_and_lane_widths_compose_on_continuous_cells() {
+        // The R-invariance guarantee extended to batched execution: on
+        // continuous power with stateless backends, neither the shard
+        // split nor the lane width is observable, in any combination —
+        // replica boundaries never split a batch (batching is temporal
+        // within one shard).
+        let (qm, input) = tiny_pruned_qmodel();
+        let mut job = tiny_job(&qm, &input, 6);
+        job.backends = vec![Backend::Sonic, Backend::Tiled(8)];
+        job.powers = vec![PowerSystem::continuous()];
+        job.replicas = 1;
+        let base = fleet_digest(&run_fleet_with_lanes(&job, 1));
+        for replicas in [1, 2, 4] {
+            for lanes in [1, 3, 8] {
+                job.replicas = replicas;
+                let d = fleet_digest(&run_fleet_with_lanes(&job, lanes));
+                assert_eq!(base, d, "replicas={replicas} lanes={lanes} diverged");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   (§7).
 //! - [`exec`]: one entry point that runs any implementation on any power
 //!   system and returns the result plus the per-run energy/time trace.
+//! - [`lockstep`]: lockstep batching — once a deployment's per-run trace
+//!   reaches its fixed point on continuous fault-free power, further runs
+//!   execute as bit-exact data-plane twins on a host FRAM image
+//!   (periodically re-validated by metered leader runs), which is what
+//!   makes population-scale fleets cheap to simulate.
 //! - [`fleet`]: the population-scale harness — many test-set inputs ×
 //!   backends × power systems over reusable deployments, fanned across
 //!   threads with deterministic, bit-identical results, summarized as
@@ -53,6 +58,7 @@ pub mod deploy;
 pub mod exec;
 pub mod experiment;
 pub mod fleet;
+pub mod lockstep;
 pub mod sonic;
 pub mod spec;
 pub mod tails;
@@ -66,4 +72,8 @@ pub use experiment::{
     run_experiment, run_experiment_observed, CellReport, ExperimentConfig, ExperimentError,
     ExperimentOutcome, RunRecord,
 };
-pub use fleet::{run_fleet, CellSummary, FleetCell, FleetInput, FleetJob, FleetRun, ShardSpec};
+pub use fleet::{
+    run_fleet, run_fleet_with_lanes, CellSummary, FleetCell, FleetInput, FleetJob, FleetRun,
+    ShardSpec,
+};
+pub use lockstep::run_inference_batch;

@@ -1,0 +1,401 @@
+//! Lockstep batching: step N same-plan devices with one planning pass.
+//!
+//! A fleet sweep runs the *same* deployed plan on many devices that differ
+//! only in input data, buffer charge, and fault schedule. Stepping them one
+//! at a time redoes the funded-iteration arithmetic of
+//! [`Device::consume_bundle`] once per lane per loop. [`DeviceBatch`] hoists
+//! that arithmetic out: per-lane buffer charge and funded counts live in
+//! contiguous struct-of-arrays scratch, the funding plan for every lane is
+//! computed in one bulk pass (4-wide unrolled, branch-free in the funded
+//! case, behind the `batch` cargo feature — a scalar twin computes the
+//! identical plan with the feature off), and each lane then *applies* its
+//! precomputed count without re-dividing.
+//!
+//! # Exactness
+//!
+//! Lanes that diverge from lockstep — browned out, armed [`FaultPlan`](crate::FaultPlan)
+//! targets pending, or underfunded mid-bundle — are masked out of the bulk
+//! apply and drained through the untouched scalar
+//! [`Device::consume_bundle`] path, so cycle/energy accounting, brown-out
+//! placement, and fault semantics are bit-identical to stepping each device
+//! alone. The planner only ever short-circuits lanes it can prove uniform:
+//! device on, no fault targets armed, and (on harvested power) buffer
+//! charge covering every requested iteration — exactly the cases where
+//! `consume_bundle`'s own arithmetic is a straight-line function of the
+//! lane state the planner already read.
+
+use crate::bundle::OpBundle;
+use crate::device::{Device, PowerFailure};
+use crate::power::PowerSystem;
+
+/// A batch of same-plan devices stepped in lockstep.
+///
+/// The batch owns its lanes; [`DeviceBatch::lane`] /
+/// [`DeviceBatch::lane_mut`] give per-lane access for everything that is
+/// *not* the hot bundle-charging loop (deployment, input flashing, reading
+/// results, scalar replay of a diverged lane).
+///
+/// # Example
+///
+/// ```
+/// use mcu::{Device, DeviceBatch, DeviceSpec, Op, OpBundle, Phase, PowerSystem};
+///
+/// // One inner-loop iteration: two reads, a MAC, a loop-index bump.
+/// let mut body = OpBundle::new();
+/// body.push_n(Op::FramRead, Phase::Kernel, 2);
+/// body.push(Op::FxpMul, Phase::Kernel);
+/// body.push(Op::Incr, Phase::Control);
+///
+/// // Four lanes on harvested power, stepped in lockstep.
+/// let mut batch = DeviceBatch::new(
+///     (0..4)
+///         .map(|_| Device::new(DeviceSpec::msp430fr5994(), PowerSystem::cap_100uf()))
+///         .collect(),
+/// );
+/// let funded = batch.consume_bundle_lanes(&body, 1000);
+/// for (i, r) in funded.iter().enumerate() {
+///     // Identical lanes fund identically — and exactly like a lone
+///     // device stepping the same bundle.
+///     let mut solo = Device::new(DeviceSpec::msp430fr5994(), PowerSystem::cap_100uf());
+///     assert_eq!(*r, solo.consume_bundle(&body, 1000));
+///     assert_eq!(
+///         batch.lane(i).trace().op_count(Op::FxpMul),
+///         solo.trace().op_count(Op::FxpMul),
+///     );
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeviceBatch {
+    devices: Vec<Device>,
+    /// SoA planning scratch: buffer charge of each *planned* lane,
+    /// gathered contiguously so the funding pass streams over it.
+    charge: Vec<u64>,
+    /// SoA planning scratch: funded count per planned lane.
+    fit: Vec<u64>,
+    /// Lane index of each planned entry (planned lanes are a subsequence
+    /// of all lanes; diverged lanes are masked out of the arrays).
+    planned: Vec<usize>,
+}
+
+impl DeviceBatch {
+    /// Wraps `devices` as lockstep lanes.
+    ///
+    /// Lanes are expected to share a deployment plan — in particular the
+    /// same [`crate::spec::CostTable`] — since the planner prices a bundle
+    /// once for the whole batch (debug assertions re-price per lane).
+    pub fn new(devices: Vec<Device>) -> Self {
+        let n = devices.len();
+        DeviceBatch {
+            devices,
+            charge: Vec::with_capacity(n),
+            fit: Vec::with_capacity(n),
+            planned: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` when the batch has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Shared view of lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lane(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// Exclusive view of lane `i` — the escape hatch for everything that
+    /// is not the lockstep bundle step: deployment, input flashing,
+    /// result extraction, and scalar replay of a diverged lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lane_mut(&mut self, i: usize) -> &mut Device {
+        &mut self.devices[i]
+    }
+
+    /// Unwraps the batch back into its lanes (in lane order).
+    pub fn into_lanes(self) -> Vec<Device> {
+        self.devices
+    }
+
+    /// Charges up to `n_iters` whole iterations of `bundle` on every lane
+    /// — the lockstep counterpart of calling [`Device::consume_bundle`]
+    /// per device, returning that exact per-lane result.
+    ///
+    /// Uniform lanes (on, no armed faults) get their funded count from
+    /// one bulk planning pass over the struct-of-arrays charge mirror and
+    /// apply it without re-dividing; diverged lanes fall through to the
+    /// scalar `consume_bundle`, preserving its semantics bit-for-bit
+    /// (including `Err(PowerFailure)` for lanes that are already off).
+    pub fn consume_bundle_lanes(
+        &mut self,
+        bundle: &OpBundle,
+        n_iters: u64,
+    ) -> Vec<Result<u64, PowerFailure>> {
+        let lanes = self.devices.len();
+        let mut out: Vec<Result<u64, PowerFailure>> = Vec::with_capacity(lanes);
+        if n_iters == 0 || bundle.is_empty() {
+            for d in &mut self.devices {
+                out.push(d.consume_bundle(bundle, n_iters));
+            }
+            return out;
+        }
+
+        // Gather: mirror each uniform lane's charge into the SoA scratch;
+        // mask diverged lanes (off, or fault targets armed) out of the
+        // plan. Continuous-power lanes need no funding arithmetic at all —
+        // they are planned with the "always funded" sentinel charge.
+        self.charge.clear();
+        self.fit.clear();
+        self.planned.clear();
+        let mut per_iter_pj = None;
+        for (i, d) in self.devices.iter().enumerate() {
+            if !d.is_on() || d.pending_faults() > 0 {
+                continue;
+            }
+            let charge = match d.power() {
+                PowerSystem::Continuous => u64::MAX,
+                PowerSystem::Harvested(_) => {
+                    let per =
+                        *per_iter_pj.get_or_insert_with(|| bundle.iter_cost(&d.spec().costs).1);
+                    debug_assert_eq!(
+                        per,
+                        bundle.iter_cost(&d.spec().costs).1,
+                        "lockstep lanes must share a cost table"
+                    );
+                    d.charge_pj()
+                }
+            };
+            self.charge.push(charge);
+            self.planned.push(i);
+        }
+
+        // Plan: one funding pass over the whole batch.
+        self.fit.resize(self.charge.len(), 0);
+        plan_funded(
+            &self.charge,
+            per_iter_pj.unwrap_or(0),
+            n_iters,
+            &mut self.fit,
+        );
+
+        // Apply: planned lanes settle their precomputed count; masked
+        // lanes drain through the scalar path.
+        let mut next_planned = 0;
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            if next_planned < self.planned.len() && self.planned[next_planned] == i {
+                let fit = self.fit[next_planned];
+                next_planned += 1;
+                d.consume_bundle_funded(bundle, fit, per_iter_pj.unwrap_or(0));
+                debug_assert!(d.is_on(), "a funded lane never browns out mid-bundle");
+                out.push(Ok(fit));
+            } else {
+                out.push(d.consume_bundle(bundle, n_iters));
+            }
+        }
+        out
+    }
+}
+
+/// Computes the funded-iteration count for every planned lane:
+/// `fit[i] = min(n_iters, charge[i] / per_iter_pj)`, with a zero-cost
+/// iteration funding without limit (matching
+/// [`Device::consume_bundle`]'s `checked_div` contract) and the
+/// `u64::MAX` sentinel charge of continuous lanes always fully funding.
+///
+/// With the `batch` feature the funded test runs 4 lanes at a time,
+/// branch-free (multiply + compare + mask-select over the contiguous
+/// charge array — the shape LLVM lowers to vector compares); only lanes
+/// that fail the test pay a division in the cleanup pass. The scalar twin
+/// below computes the identical plan lane-at-a-time.
+#[cfg(feature = "batch")]
+fn plan_funded(charge: &[u64], per_iter_pj: u64, n_iters: u64, fit: &mut [u64]) {
+    if per_iter_pj == 0 {
+        fit.fill(n_iters);
+        return;
+    }
+    let Some(full) = n_iters.checked_mul(per_iter_pj) else {
+        // The request itself overflows the meter: no finite buffer funds
+        // it all, so every lane takes the division path.
+        for (f, &c) in fit.iter_mut().zip(charge) {
+            *f = (c / per_iter_pj).min(n_iters);
+        }
+        return;
+    };
+    // Wide pass: 4 u64 lanes per step, select-without-branching. A lane
+    // that covers the full request resolves here; the rest are tagged
+    // with the sentinel for the cleanup divisions.
+    const W: usize = 4;
+    let n = charge.len();
+    let mut i = 0;
+    while i + W <= n {
+        for k in 0..W {
+            let mask = ((charge[i + k] >= full) as u64).wrapping_neg();
+            fit[i + k] = (n_iters & mask) | !mask;
+        }
+        i += W;
+    }
+    for k in i..n {
+        let mask = ((charge[k] >= full) as u64).wrapping_neg();
+        fit[k] = (n_iters & mask) | !mask;
+    }
+    for (f, &c) in fit.iter_mut().zip(charge) {
+        if *f == u64::MAX {
+            *f = (c / per_iter_pj).min(n_iters);
+        }
+    }
+}
+
+/// Scalar twin of the wide planner: identical plan, one lane at a time.
+#[cfg(not(feature = "batch"))]
+fn plan_funded(charge: &[u64], per_iter_pj: u64, n_iters: u64, fit: &mut [u64]) {
+    for (f, &c) in fit.iter_mut().zip(charge) {
+        *f = match per_iter_pj {
+            0 => n_iters,
+            per => (c / per).min(n_iters),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{FaultKind, FaultPlan, NvAddr};
+    use crate::spec::{DeviceSpec, Op};
+    use crate::trace::Phase;
+
+    fn body() -> OpBundle {
+        let mut b = OpBundle::new();
+        b.push_n(Op::FramRead, Phase::Kernel, 2);
+        b.push(Op::FxpMul, Phase::Kernel);
+        b.push(Op::FramWrite, Phase::Kernel);
+        b.push(Op::Incr, Phase::Control);
+        b
+    }
+
+    fn lane_states_match(batch: &DeviceBatch, solo: &[Device]) {
+        for (i, s) in solo.iter().enumerate() {
+            let b = batch.lane(i);
+            assert_eq!(b.charge_pj(), s.charge_pj(), "lane {i} charge");
+            assert_eq!(b.ops_consumed(), s.ops_consumed(), "lane {i} ops");
+            assert_eq!(b.is_on(), s.is_on(), "lane {i} on");
+            assert_eq!(
+                b.trace().epoch_report(),
+                s.trace().epoch_report(),
+                "lane {i} trace"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_lanes_match_scalar() {
+        let mk = || Device::new(DeviceSpec::tiny(), PowerSystem::continuous());
+        let mut batch = DeviceBatch::new((0..5).map(|_| mk()).collect());
+        let mut solo: Vec<Device> = (0..5).map(|_| mk()).collect();
+        let b = body();
+        for step in 0..7 {
+            let got = batch.consume_bundle_lanes(&b, 100 + step);
+            for (i, s) in solo.iter_mut().enumerate() {
+                assert_eq!(got[i], s.consume_bundle(&b, 100 + step));
+            }
+        }
+        lane_states_match(&batch, &solo);
+    }
+
+    #[test]
+    fn harvested_lanes_diverge_and_drain_identically() {
+        // Lanes start with different charges (drained by different
+        // amounts) so some fund fully, some partially, some brown out on
+        // a follow-up scalar consume — each must match its solo twin.
+        let mk = |drain: u64| {
+            let mut d = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+            // A deep drain browns the lane out — deliberately kept as a
+            // fourth case (the batch must keep Err-ing like the scalar
+            // path until someone reboots it).
+            let _ = d.consume_n(Op::FxpMul, drain);
+            d
+        };
+        let drains = [0u64, 1000, 40_000, u64::MAX];
+        let mut batch = DeviceBatch::new(drains.iter().map(|&n| mk(n)).collect());
+        let mut solo: Vec<Device> = drains.iter().map(|&n| mk(n)).collect();
+        let b = body();
+        for _ in 0..200 {
+            let got = batch.consume_bundle_lanes(&b, 500);
+            for (i, s) in solo.iter_mut().enumerate() {
+                assert_eq!(got[i], s.consume_bundle(&b, 500), "lane {i}");
+                // Underfunded lanes replay the next iteration through the
+                // scalar path, browning out on the same op.
+                if got[i] != Ok(500) {
+                    for e in b.ops() {
+                        let lane = batch.lane_mut(i);
+                        let want = (e.op, e.phase, e.count);
+                        let br = lane.consume_n(want.0, want.2);
+                        let sr = s.consume_n(want.0, want.2);
+                        assert_eq!(br, sr, "lane {i} scalar replay");
+                        if br.is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        lane_states_match(&batch, &solo);
+    }
+
+    #[test]
+    fn armed_fault_lanes_are_masked_to_scalar() {
+        let mk = || Device::new(DeviceSpec::tiny(), PowerSystem::continuous());
+        let plan = FaultPlan::faults([
+            (
+                40,
+                FaultKind::BitFlip {
+                    addr: NvAddr::word(0),
+                    bit: 3,
+                },
+            ),
+            (60, FaultKind::Brownout),
+        ]);
+        let mut batch = DeviceBatch::new((0..3).map(|_| mk()).collect());
+        batch.lane_mut(0).fram_alloc(4).unwrap();
+        batch.lane_mut(1).arm_faults(&plan);
+        batch.lane_mut(1).fram_alloc(4).unwrap();
+        let mut solo: Vec<Device> = (0..3).map(|_| mk()).collect();
+        solo[0].fram_alloc(4).unwrap();
+        solo[1].arm_faults(&plan);
+        solo[1].fram_alloc(4).unwrap();
+        let b = body();
+        for _ in 0..5 {
+            let got = batch.consume_bundle_lanes(&b, 7);
+            for (i, s) in solo.iter_mut().enumerate() {
+                assert_eq!(got[i], s.consume_bundle(&b, 7), "lane {i}");
+            }
+        }
+        // The faulted lane capped at its brown-out target, fired it on a
+        // follow-up scalar step, and the clean lanes never noticed.
+        assert_eq!(batch.lane(1).ops_consumed(), solo[1].ops_consumed());
+        lane_states_match(&batch, &solo);
+    }
+
+    #[test]
+    fn off_lanes_err_like_scalar() {
+        let mut on = Device::new(DeviceSpec::tiny(), PowerSystem::continuous());
+        let mut off = Device::new(DeviceSpec::tiny(), PowerSystem::cap_100uf());
+        while off.consume(Op::FxpMul).is_ok() {}
+        assert!(!off.is_on());
+        on.consume(Op::Alu).unwrap();
+        let mut batch = DeviceBatch::new(vec![on, off]);
+        let got = batch.consume_bundle_lanes(&body(), 3);
+        assert_eq!(got[0], Ok(3));
+        assert_eq!(got[1], Err(PowerFailure));
+    }
+}

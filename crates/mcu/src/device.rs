@@ -818,31 +818,70 @@ impl Device {
             }
         };
         self.ops_consumed += fit * ops_per_iter;
-        if fit > 0 {
-            // Trace cells are plain accumulators, so charging the ordered
-            // sequence and charging aggregate counts are bit-identical.
-            // Small bundles (a loop iteration) walk their few entries;
-            // long recorded tapes charge per (phase, op) cell so settling
-            // stays O(op classes) regardless of tape length.
-            if bundle.ops().len() <= 2 * Op::COUNT {
-                for e in bundle.ops() {
-                    let cost = self.spec.costs.cost(e.op);
-                    self.trace
-                        .charge(self.region, e.phase, e.op, e.count * fit, cost);
-                }
-            } else {
-                for phase in Phase::ALL {
-                    for op in Op::ALL {
-                        let n = bundle.count(phase, op);
-                        if n > 0 {
-                            let cost = self.spec.costs.cost(op);
-                            self.trace.charge(self.region, phase, op, n * fit, cost);
-                        }
+        self.charge_bundle_trace(bundle, fit);
+        Ok(fit)
+    }
+
+    /// Settles `fit` funded iterations of `bundle` into the trace. Shared
+    /// by [`Device::consume_bundle`] and the lockstep batch applier so
+    /// both paths charge bit-identically.
+    fn charge_bundle_trace(&mut self, bundle: &OpBundle, fit: u64) {
+        if fit == 0 {
+            return;
+        }
+        // Trace cells are plain accumulators, so charging the ordered
+        // sequence and charging aggregate counts are bit-identical.
+        // Small bundles (a loop iteration) walk their few entries;
+        // long recorded tapes charge per (phase, op) cell so settling
+        // stays O(op classes) regardless of tape length.
+        if bundle.ops().len() <= 2 * Op::COUNT {
+            for e in bundle.ops() {
+                let cost = self.spec.costs.cost(e.op);
+                self.trace
+                    .charge(self.region, e.phase, e.op, e.count * fit, cost);
+            }
+        } else {
+            for phase in Phase::ALL {
+                for op in Op::ALL {
+                    let n = bundle.count(phase, op);
+                    if n > 0 {
+                        let cost = self.spec.costs.cost(op);
+                        self.trace.charge(self.region, phase, op, n * fit, cost);
                     }
                 }
             }
         }
-        Ok(fit)
+    }
+
+    /// Applies a funded-iteration count a batch planner already computed:
+    /// decrements the buffer, advances the op counter, and settles the
+    /// trace exactly as [`Device::consume_bundle`] would have — minus the
+    /// per-lane funding division the planner did in bulk.
+    ///
+    /// Callers must only hand this a lane the planner proved *uniform*:
+    /// device on, no armed fault targets, and `fit` equal to what
+    /// [`Device::consume_bundle`] would return (debug assertions check
+    /// all three).
+    pub(crate) fn consume_bundle_funded(&mut self, bundle: &OpBundle, fit: u64, per_iter_pj: u64) {
+        debug_assert!(self.on, "funded apply on an off lane");
+        debug_assert!(
+            self.fault_queue.is_empty(),
+            "funded apply on a lane with armed faults"
+        );
+        if let PowerSystem::Harvested(_) = &self.power {
+            debug_assert_eq!(
+                per_iter_pj,
+                bundle.iter_cost(&self.spec.costs).1,
+                "planner and lane disagree on the iteration energy"
+            );
+            debug_assert!(
+                per_iter_pj == 0 || fit <= self.charge_pj / per_iter_pj,
+                "funded count exceeds the lane's buffer"
+            );
+            self.charge_pj -= fit * per_iter_pj;
+        }
+        self.ops_consumed += fit * bundle.len();
+        self.charge_bundle_trace(bundle, fit);
     }
 
     /// Settles a recorded op tape: one bulk charge when the buffer covers
@@ -1477,6 +1516,17 @@ impl Device {
     /// Host-side read of a FRAM counter word (no energy).
     pub fn peek_word(&self, w: FramWord) -> u16 {
         self.fram[w.addr as usize] as u16
+    }
+
+    /// Host-side view of the allocated FRAM image (no energy): every word
+    /// the allocator has handed out so far, in address order, so raw
+    /// indices into the slice coincide with [`NvAddr`] word indices.
+    ///
+    /// This is the debug port a host-side twin executes against: snapshot
+    /// the image after deployment and address it with [`FramBuf::addr`]
+    /// offsets exactly like device code does.
+    pub fn fram_image(&self) -> &[i16] {
+        &self.fram[..self.fram_brk as usize]
     }
 
     /// Host-side snapshot of an SRAM buffer (no energy), for tests.

@@ -400,7 +400,7 @@ impl Trace {
 }
 
 /// Per-region summary inside a [`TraceReport`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RegionReport {
     /// Region name as registered.
     pub name: String,
@@ -424,7 +424,7 @@ pub struct RegionReport {
 }
 
 /// Immutable summary of a [`Trace`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceReport {
     /// One entry per registered region, in registration order.
     pub regions: Vec<RegionReport>,

@@ -1,0 +1,170 @@
+//! Property tests for lockstep divergence draining: a [`DeviceBatch`]
+//! whose lanes carry arbitrary per-lane [`FaultPlan`]s (brown-out +
+//! bit-flip mixes), mismatched power systems, and staggered buffer
+//! drains must be bit-equal *lane-for-lane* to stepping N lone devices
+//! through the identical sequence — funded counts, charge, op counters,
+//! trace epochs, and the FRAM image itself (so a corrupted lane's
+//! flipped words match its solo twin bit-for-bit), including lanes that
+//! brown out and lanes whose supply is dead and can never reboot.
+//!
+//! This is the contract that lets the fleet engine batch shards without
+//! auditing fault semantics: the planner may only short-circuit lanes it
+//! can prove uniform, and everything else drains through the scalar
+//! [`Device::consume_bundle`] path unchanged.
+
+use proptest::prelude::*;
+use sonic_tails::mcu::{
+    Device, DeviceBatch, DeviceSpec, FaultKind, FaultPlan, HarvestProfile, Op, OpBundle, Phase,
+    PowerSystem,
+};
+
+/// Words in the per-lane FRAM scratch buffer bit-flips aim at.
+const FRAM_WORDS: u32 = 4;
+
+#[derive(Clone, Debug)]
+enum Supply {
+    /// Never browns out on its own; only injected faults diverge it.
+    Continuous,
+    /// Harvested capacitor, pre-drained by `drain` FxpMul ops so lanes
+    /// enter the loop at staggered charges (full / partial / browned out).
+    Harvested { drain: u64 },
+    /// Harvested capacitor under a 0 W profile: the first brown-out is
+    /// permanent and every reboot must report `SupplyDead`.
+    Dead,
+}
+
+#[derive(Clone, Debug)]
+enum Fault {
+    Brownout,
+    BitFlip { word: u32, bit: u8 },
+}
+
+#[derive(Clone, Debug)]
+struct LanePlan {
+    supply: Supply,
+    /// (charged-op target, fault) pairs for this lane's [`FaultPlan`].
+    faults: Vec<(u64, Fault)>,
+}
+
+fn fault() -> impl Strategy<Value = (u64, Fault)> {
+    (
+        1u64..4000,
+        prop_oneof![
+            Just(Fault::Brownout),
+            (0u32..FRAM_WORDS, 0u8..16).prop_map(|(word, bit)| Fault::BitFlip { word, bit }),
+        ],
+    )
+}
+
+fn lane_plan() -> impl Strategy<Value = LanePlan> {
+    (
+        prop_oneof![
+            Just(Supply::Continuous),
+            (0u64..60_000).prop_map(|drain| Supply::Harvested { drain }),
+            Just(Supply::Dead),
+        ],
+        prop::collection::vec(fault(), 0..3),
+    )
+        .prop_map(|(supply, faults)| LanePlan { supply, faults })
+}
+
+/// Builds one device for `plan` — used verbatim for both the batch lane
+/// and its solo twin, so any state they end up with is reached through
+/// the same op sequence.
+fn mk_device(plan: &LanePlan, lane: usize) -> Device {
+    let power = match plan.supply {
+        Supply::Continuous => PowerSystem::continuous(),
+        Supply::Harvested { .. } => PowerSystem::cap_100uf(),
+        Supply::Dead => PowerSystem::harvested_with(100e-6, HarvestProfile::Constant(0.0)),
+    };
+    let mut d = Device::new(DeviceSpec::tiny(), power);
+    let buf = d.fram_alloc(FRAM_WORDS).unwrap();
+    for i in 0..FRAM_WORDS {
+        let v = fxp::Q15::from_raw((lane as i16 + 1).wrapping_mul(0x111 * (i as i16 + 1)));
+        d.write(buf, i, v).unwrap();
+    }
+    if !plan.faults.is_empty() {
+        let fp = FaultPlan::faults(plan.faults.iter().map(|(at, f)| {
+            let kind = match f {
+                Fault::Brownout => FaultKind::Brownout,
+                Fault::BitFlip { word, bit } => FaultKind::BitFlip {
+                    addr: buf.addr(*word),
+                    bit: *bit,
+                },
+            };
+            (*at, kind)
+        }));
+        d.arm_faults(&fp);
+    }
+    if let Supply::Harvested { drain } = plan.supply {
+        let _ = d.consume_n(Op::FxpMul, drain);
+    }
+    d
+}
+
+fn body() -> OpBundle {
+    let mut b = OpBundle::new();
+    b.push_n(Op::FramRead, Phase::Kernel, 2);
+    b.push(Op::FxpMul, Phase::Kernel);
+    b.push(Op::FramWrite, Phase::Kernel);
+    b.push(Op::Incr, Phase::Control);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: every observable of every lane — bundle
+    /// results, reboot results (`Ok` vs `SupplyDead`), charge, op
+    /// counters, pending faults, trace epoch, and the raw FRAM image —
+    /// matches a lone device stepped identically.
+    #[test]
+    fn faulted_batch_is_bit_equal_to_solo_devices(
+        plans in prop::collection::vec(lane_plan(), 2..6),
+        steps in 5usize..30,
+    ) {
+        let mut batch = DeviceBatch::new(
+            plans.iter().enumerate().map(|(i, p)| mk_device(p, i)).collect(),
+        );
+        let mut solo: Vec<Device> =
+            plans.iter().enumerate().map(|(i, p)| mk_device(p, i)).collect();
+        let b = body();
+        for step in 0..steps {
+            let iters = 40 + (step as u64 % 7) * 9;
+            let got = batch.consume_bundle_lanes(&b, iters);
+            for (i, s) in solo.iter_mut().enumerate() {
+                let want = s.consume_bundle(&b, iters);
+                prop_assert!(
+                    got[i] == want,
+                    "lane {} step {}: {:?} != {:?}", i, step, got[i], want
+                );
+                // A lane that browned out (injected or organic) reboots
+                // on both sides; dead-supply lanes must keep reporting
+                // SupplyDead in lockstep with their twin.
+                if !batch.lane(i).is_on() {
+                    prop_assert!(!s.is_on(), "lane {} on-state skew", i);
+                    let br = batch.lane_mut(i).reboot();
+                    let sr = s.reboot();
+                    prop_assert!(br == sr, "lane {} reboot: {:?} != {:?}", i, br, sr);
+                }
+            }
+        }
+        for (i, s) in solo.iter().enumerate() {
+            let lane = batch.lane(i);
+            prop_assert!(lane.charge_pj() == s.charge_pj(), "lane {} charge", i);
+            prop_assert!(lane.ops_consumed() == s.ops_consumed(), "lane {} ops", i);
+            prop_assert!(lane.is_on() == s.is_on(), "lane {} on", i);
+            prop_assert!(
+                lane.pending_faults() == s.pending_faults(),
+                "lane {} armed faults", i
+            );
+            // Bit-flipped (corrupted) lanes: the image — flipped words
+            // included — is bit-identical to the solo run's.
+            prop_assert!(lane.fram_image() == s.fram_image(), "lane {} image", i);
+            prop_assert!(
+                lane.trace().epoch_report() == s.trace().epoch_report(),
+                "lane {} trace", i
+            );
+        }
+    }
+}

@@ -3,8 +3,9 @@
 //! The build container has no network access, so the real `proptest`
 //! cannot be fetched. This stand-in supports the surface the workspace
 //! uses: the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
-//! `prop_assert!` / `prop_assert_eq!`, `any::<T>()`, numeric-range
-//! strategies, `prop::collection::vec`, and `prop::sample::select`.
+//! `prop_assert!` / `prop_assert_eq!`, `any::<T>()`, numeric-range and
+//! tuple strategies, [`strategy::Strategy::prop_map`], [`strategy::Just`],
+//! [`prop_oneof!`], `prop::collection::vec`, and `prop::sample::select`.
 //!
 //! Unlike upstream, failing cases are not shrunk — the failing inputs are
 //! reported verbatim. Case generation is deterministic: the RNG is seeded
@@ -60,6 +61,105 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream's `prop_map`;
+        /// no shrinking here, so it is a plain post-map).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (upstream's `boxed`) — the form
+        /// [`crate::prop_oneof!`] unions over.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy for [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value (upstream's `Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Picks one of several same-valued strategies uniformly — the
+    /// engine behind [`crate::prop_oneof!`] (upstream weights branches;
+    /// this subset samples them uniformly).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Unions over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! requires at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
     }
 
     macro_rules! range_strategy {
@@ -179,8 +279,19 @@ pub mod prelude {
     //! The glob-import surface used by property tests.
 
     pub use crate as prop;
-    pub use crate::strategy::Strategy;
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Picks uniformly among several strategies generating the same type
+/// (upstream's `prop_oneof!`; branch weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
 }
 
 /// Asserts a condition inside a property, reporting the failing inputs.
@@ -212,6 +323,16 @@ macro_rules! prop_assert_eq {
                     stringify!($b),
                     "\n  left:  {:?}\n  right: {:?}"
                 ),
+                a, b
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            panic!(
+                "{}\n  left:  {:?}\n  right: {:?}",
+                format!($($fmt)+),
                 a, b
             );
         }
@@ -292,6 +413,16 @@ mod tests {
         #[test]
         fn select_picks_an_option(t in prop::sample::select(vec![8u32, 32])) {
             prop_assert!(t == 8 || t == 32);
+        }
+
+        #[test]
+        fn tuples_map_and_oneof_compose(
+            v in prop_oneof![
+                Just(-1i64),
+                (0u32..5, 10u32..15).prop_map(|(a, b)| (a + b) as i64),
+            ],
+        ) {
+            prop_assert!(v == -1 || (10..20).contains(&v));
         }
     }
 
