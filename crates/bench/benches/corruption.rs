@@ -14,9 +14,16 @@
 //! requires the classifier to report silent wrong output, proving the
 //! green table above is not vacuous.
 //!
+//! The stateful progress-embedding backend has no control words; its
+//! sweep instead flips every bit of every embedded activation word (the
+//! in-band progress tags), under the same gate, and its teeth control is
+//! a parity-preserving double flip in one word's value bits.
+//!
 //! Environment knobs:
 //! - `CORRUPTION_POINTS=n` — op boundaries sampled per (word, bit)
 //!   (default 4).
+//! - `CORRUPTION_STATEFUL_STRIDE=n` — check every n-th embedded tag word
+//!   in the stateful sweep (default 1: every word).
 //! - `CORRUPTION_FUZZ_SEED=s` — skip the sweep and instead fuzz random
 //!   mixed schedules (a guarded-word flip, half the time with a
 //!   brown-out in the same plan) from the given RNG seed; the seed is
@@ -30,8 +37,8 @@ use rand::Rng as _;
 use rand::SeedableRng;
 use sonic::exec::{Backend, TailsConfig};
 use sonic::spec::{
-    check_corruption, classify_faults, classify_flip, control_words, fault_free_reference,
-    unguarded_activation_addr, CorruptionOutcome,
+    check_corruption, check_stateful_corruption, classify_faults, classify_flip, control_words,
+    fault_free_reference, stateful_tag_words, unguarded_activation_addr, CorruptionOutcome,
 };
 
 fn deep_qmodel() -> (dnn::quant::QModel, Vec<fxp::Q15>) {
@@ -180,6 +187,71 @@ fn main() {
             );
         }
         silent += r.silent_wrong.len();
+    }
+
+    // The stateful backend has no control words at all — its progress
+    // lives in-band, in the tag/parity bits of every activation word. Its
+    // sweep therefore runs over the embedded words themselves: every
+    // `CORRUPTION_STATEFUL_STRIDE`-th tagged word (default all) x 16 bits
+    // x the same boundary count, under the same zero-silent-wrong gate.
+    let stateful_stride: usize = std::env::var("CORRUPTION_STATEFUL_STRIDE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let t0 = std::time::Instant::now();
+    let r = check_stateful_corruption(&qm, &input, &spec, points, stateful_stride);
+    println!(
+        "{:<14} {:<7} {:<7} {:<10} {:<8} {:<7} {:<8} {:<7} {:.1}  (embedded tag words, stride {stateful_stride})",
+        r.backend,
+        r.flips,
+        r.masked,
+        r.recovered,
+        r.aborted,
+        r.wedged,
+        r.unfired,
+        r.silent_wrong.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for c in &r.silent_wrong {
+        println!(
+            "  SILENT WRONG OUTPUT: {}.bit{} @ op#{}",
+            c.word, c.bit, c.op_index
+        );
+    }
+    silent += r.silent_wrong.len();
+
+    // Stateful teeth control: the guard is a parity bit, so its documented
+    // boundary is multi-bit faults — a *double* flip confined to the value
+    // bits of one embedded word preserves parity and must be able to slip
+    // through as silent wrong output.
+    let b = Backend::Stateful;
+    let (expected, _ops) = fault_free_reference(&qm, &input, &spec, &b);
+    let mut probe = mcu::Device::new(spec.clone(), mcu::PowerSystem::continuous());
+    let pm = sonic::deploy::deploy(&mut probe, &qm).expect("model must fit in FRAM");
+    let tag_words = stateful_tag_words(&pm);
+    let stateful_teeth = [(0usize, 15u8, 14u8), (0, 15, 13), (1, 15, 14)]
+        .iter()
+        .filter(|&&(wi, b1, b2)| {
+            let addr = tag_words[wi].1;
+            classify_faults(
+                &qm,
+                &input,
+                &spec,
+                &b,
+                &[
+                    (0, mcu::FaultKind::BitFlip { addr, bit: b1 }),
+                    (0, mcu::FaultKind::BitFlip { addr, bit: b2 }),
+                ],
+                &expected,
+            ) == CorruptionOutcome::SilentWrong
+        })
+        .count();
+    println!(
+        "stateful teeth control: {stateful_teeth}/3 parity-preserving double flips were silent wrong"
+    );
+    if stateful_teeth == 0 {
+        eprintln!("stateful double-flip corruption went UNDETECTED: the sweep has lost its teeth");
+        std::process::exit(1);
     }
 
     // Teeth control: an unguarded activation word must be able to

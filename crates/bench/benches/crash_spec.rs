@@ -63,6 +63,7 @@ fn main() {
         Backend::SonicNoUndo,
         Backend::Tails(TailsConfig::default()),
         Backend::Tiled(8),
+        Backend::Stateful,
     ];
 
     println!("== crash spec: single-fault sweep, stride {stride} ==");

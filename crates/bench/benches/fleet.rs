@@ -23,6 +23,10 @@
 //!   digest are bit-identical at every width — continuous fault-free
 //!   cells just run `(l-1)/l` of their inferences as data-plane twins
 //!   (see `sonic::lockstep`).
+//! - `FLEET_STATEFUL=1` — append the stateful progress-embedding backend
+//!   (`sonic::stateful`) as a seventh column. Off by default: the extra
+//!   cells legitimately change the fleet digest, so the pinned historical
+//!   trajectory stays the 6-backend paper suite.
 use bench::report::{save_csv, FleetReport};
 use mcu::DeviceSpec;
 use sonic::experiment::{run_experiment, ExperimentConfig};
@@ -50,7 +54,10 @@ fn main() {
             );
         }
     }
-    let backends = bench::experiments::fig9_backends();
+    let mut backends = bench::experiments::fig9_backends();
+    if std::env::var("FLEET_STATEFUL").is_ok_and(|v| v == "1") {
+        backends.push(sonic::Backend::Stateful);
+    }
     let inputs = bench::experiments::fleet_inputs_count();
     let replicas = bench::experiments::fleet_replicas();
     let resume = std::env::var("FLEET_RESUME").is_ok_and(|v| v == "1");

@@ -1,7 +1,7 @@
 //! One entry point to run any implementation on any power system.
 
 use crate::deploy::{deploy, DeployedModel};
-use crate::{baseline, sonic, tails, tiled};
+use crate::{baseline, sonic, stateful, tails, tiled};
 use dnn::quant::QModel;
 use fxp::Q15;
 use intermittent::alpaca::AlpacaRt;
@@ -24,6 +24,11 @@ pub enum Backend {
     SonicNoUndo,
     /// TAILS (LEA + DMA per the config).
     Tails(TailsConfig),
+    /// DynBal-style stateful progress embedding: activation words carry
+    /// an in-band tag/parity, and a reboot binary-searches the output
+    /// buffer for the resume point — no control words, no redo log (see
+    /// [`crate::stateful`]).
+    Stateful,
 }
 
 impl Backend {
@@ -50,6 +55,7 @@ impl Backend {
             Backend::Tails(cfg) => {
                 format!("TAILS(lea={},dma={})", cfg.use_lea as u8, cfg.use_dma as u8)
             }
+            Backend::Stateful => "Stateful".to_string(),
         }
     }
 }
@@ -258,13 +264,22 @@ pub fn run_deployed(dev: &mut Device, dm: &DeployedModel, backend: &Backend) -> 
             let mut g = tails::build(dm, *cfg, dev);
             run(&mut g, &mut (), dev, 0, &SchedulerConfig::task_based())
         }
+        Backend::Stateful => {
+            stateful::prepare_run(dev, dm);
+            let mut g = stateful::build(dm);
+            run(&mut g, &mut (), dev, 0, &SchedulerConfig::task_based())
+        }
     };
     let trace = dev.epoch_report();
     dev.rewind_allocs(alloc_marks);
     let corruption_detected = dev.corruption_detected();
     match result {
         Ok(stats) => {
-            let output = dm.read_output(dev);
+            let output = match backend {
+                // Stateful activations carry in-band tags; strip them.
+                Backend::Stateful => stateful::cleared_output(dev, dm),
+                _ => dm.read_output(dev),
+            };
             let class = fxp::vecops::argmax(&output);
             InferenceOutcome {
                 backend: backend.label(),
@@ -331,7 +346,8 @@ pub(crate) fn brownout_record(dev: &Device) -> Option<BrownoutRecord> {
 
 /// Verifies that `backend`'s per-run runtime working state can be
 /// allocated on `dev` — the TAILS SRAM staging buffers, the Alpaca
-/// commit flag — releasing the probe allocations again.
+/// commit flag, the stateful backend's per-buffer tag budget against
+/// the deployed model `dm` — releasing the probe allocations again.
 ///
 /// [`deploy`](crate::deploy()) checks the *model's* footprint; this
 /// checks the rest: [`run_deployed`] builds the runtime with
@@ -346,7 +362,11 @@ pub(crate) fn brownout_record(dev: &Device) -> Option<BrownoutRecord> {
 ///
 /// Returns the [`mcu::AllocError`] the runtime build would have
 /// panicked on.
-pub fn preflight_runtime(dev: &mut Device, backend: &Backend) -> Result<(), mcu::AllocError> {
+pub fn preflight_runtime(
+    dev: &mut Device,
+    dm: &DeployedModel,
+    backend: &Backend,
+) -> Result<(), mcu::AllocError> {
     match backend {
         Backend::Baseline | Backend::Sonic | Backend::SonicNoUndo => Ok(()),
         Backend::Tiled(_) => {
@@ -356,6 +376,9 @@ pub fn preflight_runtime(dev: &mut Device, backend: &Backend) -> Result<(), mcu:
             r
         }
         Backend::Tails(_) => tails::preflight_sram(dev),
+        // The stateful backend needs no runtime arenas, but the model
+        // must fit the in-band tag space: ≤ 7 write passes per buffer.
+        Backend::Stateful => stateful::preflight(dm),
     }
 }
 
@@ -500,6 +523,53 @@ mod tests {
         assert!(inter.completed, "Tile-8 must complete on 100 µF");
         assert!(inter.trace.reboots > 0, "test needs real power failures");
         assert_eq!(inter.output, cont.output, "intermittent == continuous");
+    }
+
+    #[test]
+    fn intermittent_stateful_matches_continuous_bit_exactly() {
+        let (qm, input) = tiny_qmodel();
+        let b = Backend::Stateful;
+        let host = qm.forward_host(&input);
+        let cont = run_inference(&qm, &input, &spec(), PowerSystem::continuous(), &b);
+        assert!(cont.completed, "Stateful must complete on continuous power");
+        // The tag/parity fields cost the low 5 bits of every activation,
+        // so the output is near the host reference, not bit-equal to it.
+        let worst = cont
+            .output
+            .iter()
+            .zip(&host)
+            .map(|(a, b)| (a.to_f32() - b.to_f32()).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 0.05, "embedding cost too much precision: {worst}");
+        let inter = run_inference(&qm, &input, &spec(), PowerSystem::cap_100uf(), &b);
+        assert!(inter.completed, "Stateful must complete on 100 µF");
+        assert!(inter.trace.reboots > 0, "test needs real power failures");
+        assert_eq!(inter.output, cont.output, "intermittent == continuous");
+    }
+
+    #[test]
+    fn stateful_preflight_rejects_models_beyond_the_tag_space() {
+        // Seven dense+relu pairs put 8 write passes on one activation
+        // buffer — one more than the 7-tag budget.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut layers = Vec::new();
+        for _ in 0..7 {
+            layers.push(Layer::dense(6, 6, &mut rng));
+            layers.push(Layer::relu());
+        }
+        let mut model = Model::new(layers);
+        let shape = [6usize];
+        let calib: Vec<Tensor> = (0..2)
+            .map(|_| Tensor::uniform(shape.to_vec(), 0.9, &mut rng))
+            .collect();
+        let qm = quantize(&mut model, &shape, &calib);
+        let mut dev = Device::new(spec(), PowerSystem::continuous());
+        let dm = deploy(&mut dev, &qm).unwrap();
+        let e = preflight_runtime(&mut dev, &dm, &Backend::Stateful)
+            .expect_err("8 passes on one buffer must be rejected");
+        assert_eq!(e.available, crate::stateful::MAX_PASSES_PER_BUF);
+        // The paper-suite backends are unaffected by the pass budget.
+        preflight_runtime(&mut dev, &dm, &Backend::Sonic).unwrap();
     }
 
     #[test]

@@ -982,6 +982,47 @@ mod tests {
     }
 
     #[test]
+    fn stateful_cells_complete_and_stay_lane_invariant() {
+        // The fifth backend on the same fleet accounting: intermittent
+        // stateful cells complete (seek-based recovery), score against
+        // their labels, and — since the stateful backend never twins
+        // (embedded tags are per-run NVM state) — the lane width must be
+        // invisible in the digest.
+        let (qm, input) = tiny_pruned_qmodel();
+        let mut job = tiny_job(&qm, &input, 3);
+        job.backends = vec![Backend::Sonic, Backend::Stateful];
+        job.powers = vec![PowerSystem::continuous(), PowerSystem::harvested(8e-6)];
+        let cells = run_fleet(&job);
+        let spec = DeviceSpec::msp430fr5994();
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            let s = cell.summarize(&spec);
+            assert_eq!(
+                s.completed, s.runs,
+                "{} {} must complete",
+                cell.power, cell.backend
+            );
+            let acc = s.accuracy.expect("labeled runs");
+            assert!((0.0..=1.0).contains(&acc));
+        }
+        // Intermittent stateful really rebooted (the cell exercised the
+        // seek path, not a lucky single-charge run).
+        let harvested = cells
+            .iter()
+            .find(|c| c.backend == "Stateful" && c.power != "Cont")
+            .expect("harvested stateful cell");
+        assert!(
+            harvested.runs.iter().any(|r| r.outcome.trace.reboots > 0),
+            "harvested stateful cell never rebooted"
+        );
+        let base = fleet_digest(&run_fleet_with_lanes(&job, 1));
+        for lanes in [2, 8] {
+            let d = fleet_digest(&run_fleet_with_lanes(&job, lanes));
+            assert_eq!(base, d, "stateful lanes={lanes} moved the fleet digest");
+        }
+    }
+
+    #[test]
     fn faulted_jobs_ignore_lane_width() {
         use mcu::FaultKind;
         let (qm, input) = tiny_pruned_qmodel();

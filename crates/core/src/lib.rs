@@ -61,6 +61,7 @@ pub mod fleet;
 pub mod lockstep;
 pub mod sonic;
 pub mod spec;
+pub mod stateful;
 pub mod tails;
 pub mod tiled;
 

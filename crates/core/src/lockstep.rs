@@ -730,12 +730,19 @@ impl BatchRunner {
     pub(crate) fn new(backend: &Backend, power: &PowerSystem, lanes: usize) -> BatchRunner {
         BatchRunner {
             lanes: lanes.max(1),
-            enabled: lanes >= 2 && matches!(power, PowerSystem::Continuous),
+            enabled: lanes >= 2
+                && matches!(power, PowerSystem::Continuous)
+                && !matches!(backend, Backend::Stateful),
             backend: *backend,
             kind: match backend {
                 Backend::Baseline => TwinKind::Baseline,
                 Backend::Tails(_) => TwinKind::Tails,
                 Backend::Tiled(_) | Backend::Sonic | Backend::SonicNoUndo => TwinKind::LoopOrdered,
+                // The stateful backend's embedded tags are NVM-visible
+                // state the host twin does not model; `enabled` above
+                // forces every stateful run through the meter, so the
+                // kind is never consulted.
+                Backend::Stateful => TwinKind::Baseline,
             },
             idx: 0,
             steady: false,
@@ -953,6 +960,35 @@ mod tests {
                 assert_eq!(s.stats, x.stats, "{b}: run {i} stats diverge");
                 assert_eq!(s.corruption_detected, x.corruption_detected);
                 assert!(x.error.is_none() && x.brownout.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_never_twins_and_stays_bit_identical() {
+        // The stateful backend is excluded from twinning outright: its
+        // embedded progress tags are per-run NVM state the host twin
+        // does not model. Every lane width must drain through the meter
+        // with bit-identical outcomes.
+        let (qm, inputs) = fixture(8);
+        let b = Backend::Stateful;
+        let (scalar, t1) =
+            run_inference_batch_counted(&qm, &inputs, &spec(), PowerSystem::continuous(), &b, 1);
+        assert_eq!(t1, 0);
+        for lanes in [2, 4, 8] {
+            let (batched, twins) = run_inference_batch_counted(
+                &qm,
+                &inputs,
+                &spec(),
+                PowerSystem::continuous(),
+                &b,
+                lanes,
+            );
+            assert_eq!(twins, 0, "lanes={lanes}: stateful runs must never twin");
+            for (i, (s, x)) in scalar.iter().zip(&batched).enumerate() {
+                assert!(s.completed && x.completed, "run {i} not completed");
+                assert_eq!(s.output, x.output, "run {i} output diverges");
+                assert_eq!(s.trace, x.trace, "run {i} trace diverges");
             }
         }
     }

@@ -34,7 +34,7 @@
 //! the crash, the injected schedule, and the abstract-vs-concrete
 //! divergence.
 
-use crate::deploy::{deploy, DeployedKind, DeployedLayer, DeployedModel, UNDO_EMPTY};
+use crate::deploy::{deploy, DeployedKind, DeployedLayer, DeployedModel, IoBuf, UNDO_EMPTY};
 use crate::exec::Backend;
 use crate::tails::{CALIB_INITIAL, CALIB_MIN};
 use crate::{baseline, sonic, tails, tiled};
@@ -65,6 +65,10 @@ enum StateStyle {
     /// Alpaca task tiling: control words are task-shared redo-logged
     /// state and the per-layer stage lives in the `undo_tag` word.
     Tiled,
+    /// Stateful progress embedding: no control words at all — progress
+    /// lives in the activation buffers as in-band tags, abstracted by
+    /// [`StatefulAbs`].
+    Stateful,
 }
 
 impl StateStyle {
@@ -84,6 +88,7 @@ impl StateStyle {
                 tails: true,
             },
             Backend::Tiled(_) => StateStyle::Tiled,
+            Backend::Stateful => StateStyle::Stateful,
         }
     }
 }
@@ -480,12 +485,122 @@ fn abs_model_styled(
             StateStyle::Baseline => must_reset(dev, l, "the baseline").map(|()| LayerAbs::Inert),
             StateStyle::Loop { sparse_undo, .. } => abs_loop_layer(dev, l, sparse_undo),
             StateStyle::Tiled => abs_tiled_layer(dev, l),
+            StateStyle::Stateful => {
+                must_reset(dev, l, "the stateful backend").map(|()| LayerAbs::Inert)
+            }
         };
         out.push(abs.map_err(|d| (l.region, d))?);
     }
     let tails_live = matches!(style, StateStyle::Loop { tails: true, .. });
     check_calib(dev, m, tails_live).map_err(|d| (m.other_region, d))?;
+    // The stateful backend's progress lives in the activation buffers,
+    // not the (reset) control words: check the buffer machine too.
+    if style == StateStyle::Stateful {
+        abs_stateful(dev, m)?;
+    }
     Ok(out)
+}
+
+/// Abstract state of the stateful backend's progress machine, produced
+/// by [`abs_stateful`] from the concrete activation buffers.
+///
+/// The concrete state refines it iff (per write pass, in execution
+/// order): every word in the pass region is either *covered* (valid
+/// parity, tag at or deeper than the pass's own) or not, the covered
+/// words form exactly a prefix `[0, f)` — the progress frontier the
+/// seeker recovers by binary search — and across passes the frontiers
+/// are monotone: complete passes, then at most one partial pass, then
+/// untouched ones. Any valid word carrying a tag outside the buffer's
+/// assigned range (the clear pattern's flip-neighbourhood, tags ≥ 7) is
+/// a violation: forged progress the seeker could trust.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatefulAbs {
+    /// Per write pass (execution order, pass 0 = the embedded input):
+    /// the recovered progress frontier.
+    pub frontiers: Vec<u32>,
+}
+
+/// Abstraction function for the stateful backend: maps the concrete
+/// activation buffers to the progress-frontier machine, or fails with
+/// the offending region and a divergence description.
+///
+/// Only meaningful after [`crate::stateful::prepare_run`] (the raw
+/// staged input does not carry tags yet).
+///
+/// # Errors
+///
+/// Returns the accounting region and divergence when the buffers are
+/// outside the abstract state space.
+pub fn abs_stateful(dev: &Device, m: &DeployedModel) -> Result<StatefulAbs, (RegionId, String)> {
+    use crate::stateful::{is_valid, tag_of};
+    let p = crate::stateful::plan(m);
+    let pass_region = |pass: &crate::stateful::Pass| match pass.layer {
+        Some(i) => m.layers[i].region,
+        None => m.other_region,
+    };
+    // Tag-range validity over the full buffers: a valid word must carry
+    // a tag the assigner actually handed out for that buffer.
+    for (which, used) in [(IoBuf::A, p.tags_used[0]), (IoBuf::B, p.tags_used[1])] {
+        let buf = m.buf(which);
+        for (i, &w) in dev.peek(buf).iter().enumerate() {
+            if is_valid(w) && u32::from(tag_of(w)) >= used {
+                return Err((
+                    m.other_region,
+                    format!(
+                        "activation word {which:?}[{i}] carries tag {} outside \
+                         the assigned range 0..{used}",
+                        tag_of(w)
+                    ),
+                ));
+            }
+        }
+    }
+    // Per-pass prefix frontiers. On one buffer tags are assigned in
+    // execution order, so "written by this pass or deeper" is exactly
+    // `tag >= pass.tag`.
+    let mut frontiers = Vec::with_capacity(p.passes.len());
+    for pass in &p.passes {
+        let words = dev.peek(m.buf(pass.buf).slice(0, pass.len));
+        let covered = |w: &Q15| is_valid(*w) && tag_of(*w) >= pass.tag;
+        let f = words.iter().take_while(|w| covered(w)).count();
+        if let Some(i) = words.iter().skip(f).position(covered) {
+            return Err((
+                pass_region(pass),
+                format!(
+                    "pass tag {} on {:?}: covered word at index {} beyond \
+                     the frontier {f} — progress is not a prefix",
+                    pass.tag,
+                    pass.buf,
+                    f + i,
+                ),
+            ));
+        }
+        frontiers.push(f as u32);
+    }
+    // Monotone progress across passes: after the first incomplete pass,
+    // every later pass must be untouched.
+    if let Some(first) = frontiers
+        .iter()
+        .zip(&p.passes)
+        .position(|(&f, pass)| f < pass.len)
+    {
+        if let Some(j) = frontiers.iter().skip(first + 1).position(|&f| f > 0) {
+            let j = first + 1 + j;
+            return Err((
+                pass_region(&p.passes[j]),
+                format!(
+                    "pass {j} (tag {} on {:?}) has frontier {} but pass \
+                     {first} is incomplete ({}/{}) — progress is not monotone",
+                    p.passes[j].tag,
+                    p.passes[j].buf,
+                    frontiers[j],
+                    frontiers[first],
+                    p.passes[first].len,
+                ),
+            ));
+        }
+    }
+    Ok(StatefulAbs { frontiers })
 }
 
 /// Maps the concrete NVM control-word state of a deployed model to the
@@ -699,6 +814,12 @@ pub fn check_schedule(
                     },
                 ),
                 Backend::Tails(cfg) => tails::build(&dm, *cfg, &mut dev),
+                Backend::Stateful => {
+                    // Host-side, free: the armed fault op-indices are
+                    // unaffected, matching `run_deployed`'s sequencing.
+                    crate::stateful::prepare_run(&mut dev, &dm);
+                    crate::stateful::build(&dm)
+                }
                 Backend::Tiled(_) => unreachable!("handled above"),
             };
             let cfg = if matches!(backend, Backend::Baseline) {
@@ -724,7 +845,10 @@ pub fn check_schedule(
             if !dev.is_on() && dev.last_brownout().is_some() {
                 crashes += 1;
             }
-            let out = dm.read_output(&dev);
+            let out = match backend {
+                Backend::Stateful => crate::stateful::cleared_output(&dev, &dm),
+                _ => dm.read_output(&dev),
+            };
             if out != expected {
                 let first = out
                     .iter()
@@ -886,6 +1010,25 @@ pub struct CorruptionReport {
 }
 
 impl CorruptionReport {
+    fn record(&mut self, word: &str, bit: u8, t: u64, outcome: CorruptionOutcome) {
+        self.flips += 1;
+        match outcome {
+            CorruptionOutcome::Masked => self.masked += 1,
+            CorruptionOutcome::Recovered { .. } => self.recovered += 1,
+            CorruptionOutcome::Aborted { .. } => self.aborted += 1,
+            CorruptionOutcome::Wedged => self.wedged += 1,
+            CorruptionOutcome::Unfired => self.unfired += 1,
+            CorruptionOutcome::SilentWrong => {
+                self.silent_wrong.push(CorruptionCase {
+                    word: word.to_string(),
+                    bit,
+                    op_index: t,
+                    outcome,
+                });
+            }
+        }
+    }
+
     /// Panics, listing every case, if any flip produced a silent wrong
     /// output.
     pub fn assert_no_silent_wrong(&self) {
@@ -1047,22 +1190,79 @@ pub fn check_corruption(
                 // across the run.
                 let t = ops * (2 * k + 1) / (2 * points);
                 let outcome = classify_flip(qm, input, spec, backend, w.addr(), bit, t, &expected);
-                report.flips += 1;
-                match outcome {
-                    CorruptionOutcome::Masked => report.masked += 1,
-                    CorruptionOutcome::Recovered { .. } => report.recovered += 1,
-                    CorruptionOutcome::Aborted { .. } => report.aborted += 1,
-                    CorruptionOutcome::Wedged => report.wedged += 1,
-                    CorruptionOutcome::Unfired => report.unfired += 1,
-                    CorruptionOutcome::SilentWrong => {
-                        report.silent_wrong.push(CorruptionCase {
-                            word: name.clone(),
-                            bit,
-                            op_index: t,
-                            outcome,
-                        });
-                    }
-                }
+                report.record(name, bit, t, outcome);
+            }
+        }
+    }
+    report
+}
+
+/// Every embedded-activation word of a stateful deployment — the union
+/// of the write-pass regions per buffer — with stable names for
+/// reporting. These are the words that carry in-band progress tags; the
+/// stateful backend has no control words to guard.
+pub fn stateful_tag_words(m: &DeployedModel) -> Vec<(String, NvAddr)> {
+    let p = crate::stateful::plan(m);
+    let mut out = Vec::new();
+    for (which, label) in [(IoBuf::A, "A"), (IoBuf::B, "B")] {
+        let len = p
+            .passes
+            .iter()
+            .filter(|ps| ps.buf == which)
+            .map(|ps| ps.len)
+            .max()
+            .unwrap_or(0);
+        let buf = m.buf(which);
+        for i in 0..len {
+            out.push((format!("{label}[{i}]"), buf.addr(i)));
+        }
+    }
+    out
+}
+
+/// Single-bit-flip sweep over the stateful backend's embedded progress
+/// tags: every `word_stride`-th tagged activation word × all 16 bits ×
+/// `points` midpoint boundaries. The stateful corruption theorem — the
+/// tag/parity guard plus the final audit turn every single flip into
+/// Masked, Recovered, or Aborted, never a silent wrong output — is
+/// [`CorruptionReport::assert_no_silent_wrong`]. (The documented
+/// boundary is *multi*-bit faults: a double flip confined to value bits
+/// preserves parity — the corruption bench's stateful teeth control.)
+///
+/// # Panics
+///
+/// Panics if `points` or `word_stride` is zero, or the model does not
+/// fit in FRAM.
+pub fn check_stateful_corruption(
+    qm: &QModel,
+    input: &[Q15],
+    spec: &DeviceSpec,
+    points: u64,
+    word_stride: usize,
+) -> CorruptionReport {
+    assert!(points > 0, "points must be positive");
+    assert!(word_stride > 0, "word_stride must be positive");
+    let backend = Backend::Stateful;
+    let (expected, ops) = fault_free_reference(qm, input, spec, &backend);
+    let mut probe = Device::new(spec.clone(), PowerSystem::continuous());
+    let pm = deploy(&mut probe, qm).expect("model must fit in FRAM");
+    let words = stateful_tag_words(&pm);
+    let mut report = CorruptionReport {
+        backend: backend.label(),
+        flips: 0,
+        masked: 0,
+        recovered: 0,
+        aborted: 0,
+        wedged: 0,
+        unfired: 0,
+        silent_wrong: Vec::new(),
+    };
+    for (name, addr) in words.iter().step_by(word_stride) {
+        for bit in 0..16u8 {
+            for k in 0..points {
+                let t = ops * (2 * k + 1) / (2 * points);
+                let outcome = classify_flip(qm, input, spec, &backend, *addr, bit, t, &expected);
+                report.record(name, bit, t, outcome);
             }
         }
     }
@@ -1108,14 +1308,65 @@ mod tests {
             Backend::SonicNoUndo,
             Backend::Tiled(8),
             Backend::Tails(crate::exec::TailsConfig::default()),
+            Backend::Stateful,
         ] {
             let mut dev = Device::new(msp(), PowerSystem::continuous());
             let dm = deploy(&mut dev, &qm).unwrap();
             dm.load_input(&mut dev, &input);
+            if backend == Backend::Stateful {
+                // The stateful abstraction is defined over embedded
+                // buffers, which is exactly the backend's pre-run state.
+                crate::stateful::prepare_run(&mut dev, &dm);
+            }
             let abs = check_model_state(&dev, &dm, &backend)
                 .unwrap_or_else(|v| panic!("fresh deploy must refine: {v}"));
             assert_eq!(abs.len(), dm.layers.len());
         }
+    }
+
+    #[test]
+    fn broken_stateful_invariants_are_detected() {
+        use crate::stateful::embed;
+        let (qm, input) = dense_relu_qmodel();
+        let mut dev = Device::new(msp(), PowerSystem::continuous());
+        let dm = deploy(&mut dev, &qm).unwrap();
+        dm.load_input(&mut dev, &input);
+        crate::stateful::prepare_run(&mut dev, &dm);
+        let b = dm.buf(dm.output);
+        let clear = Q15::from_raw(crate::stateful::CLEAR_WORD as i16);
+
+        // A valid word with an out-of-range tag: forged progress from
+        // the clear pattern's flip-neighbourhood.
+        dev.flash(b.slice(0, 1), &[embed(Q15::from_f32(0.1), 9)]);
+        let v = check_model_state(&dev, &dm, &Backend::Stateful)
+            .expect_err("out-of-range tag must violate");
+        assert!(v.divergence.contains("outside the assigned range"), "{v}");
+        dev.flash(b.slice(0, 1), &[clear]);
+
+        // A tagged word beyond the frontier: covered progress that is
+        // not a prefix (word 3 written, words 0..3 still cleared).
+        dev.flash(b.slice(3, 1), &[embed(Q15::from_f32(0.1), 0)]);
+        let v = check_model_state(&dev, &dm, &Backend::Stateful)
+            .expect_err("island beyond the frontier must violate");
+        assert!(v.divergence.contains("not a prefix"), "{v}");
+        dev.flash(b.slice(3, 1), &[clear]);
+
+        // Progress on a deeper pass while a shallower one is incomplete:
+        // truncate the embedded input to a clean 5-word prefix, then
+        // give the dense pass a frontier of 1.
+        let a = dm.buf(dm.input);
+        dev.flash(a.slice(5, 5), &[clear; 5]);
+        dev.flash(b.slice(0, 1), &[embed(Q15::from_f32(0.1), 0)]);
+        let v = check_model_state(&dev, &dm, &Backend::Stateful)
+            .expect_err("non-monotone pass progress must violate");
+        assert!(v.divergence.contains("not monotone"), "{v}");
+
+        // The stateful backend must never touch a control word.
+        crate::stateful::prepare_run(&mut dev, &dm);
+        dev.store_word(dm.layers[0].pos, 1).unwrap();
+        let v = check_model_state(&dev, &dm, &Backend::Stateful)
+            .expect_err("control-word poke must violate");
+        assert!(v.divergence.contains("reset value"), "{v}");
     }
 
     #[test]
@@ -1188,9 +1439,30 @@ mod tests {
     }
 
     #[test]
+    fn stateful_single_fault_schedules_recover_bit_equal() {
+        // The seek-on-reboot recovery at unit scale (the exhaustive
+        // sweep is the `crash_spec` integration suite): brown-outs at
+        // the ends and middle of the run, refinement checked at every
+        // crash, recovery bit-equal.
+        let (qm, input) = dense_relu_qmodel();
+        let b = Backend::Stateful;
+        let (expected, ops) = fault_free_reference(&qm, &input, &msp(), &b);
+        assert!(ops > 500, "the sweep space must be non-trivial: {ops}");
+        for t in [0, 1, ops / 3, ops / 2, ops - 2, ops - 1] {
+            let out = check_schedule(&qm, &input, &msp(), &b, &[t], &expected);
+            assert_eq!(out.crashes, 1, "boundary {t} must crash exactly once");
+            assert!(
+                out.violations.is_empty(),
+                "boundary {t}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
     fn multi_fault_schedule_recovers_through_repeated_crashes() {
         let (qm, input) = dense_relu_qmodel();
-        for b in [Backend::Sonic, Backend::Tiled(4)] {
+        for b in [Backend::Sonic, Backend::Tiled(4), Backend::Stateful] {
             let (expected, ops) = fault_free_reference(&qm, &input, &msp(), &b);
             let targets = [ops / 5, ops / 2, ops / 2 + 1, ops - 1];
             let out = check_schedule(&qm, &input, &msp(), &b, &targets, &expected);
@@ -1230,6 +1502,53 @@ mod tests {
         let (qm, input) = tiny_pruned_qmodel();
         let r = check_corruption(&qm, &input, &msp(), &Backend::Sonic, 2);
         r.assert_no_silent_wrong();
+    }
+
+    #[test]
+    fn stateful_tag_flips_never_silently_corrupt_output() {
+        // The stateful corruption theorem on the dense+ReLU model:
+        // every bit of every embedded activation word, flipped at
+        // boundaries across the run, is masked, recovered (the audit
+        // recompute), or aborted — never a silent wrong output. This is
+        // the sweep the in-band tag/parity guard exists for: progress
+        // lives in data words no control-word guard covers.
+        let (qm, input) = dense_relu_qmodel();
+        let r = check_stateful_corruption(&qm, &input, &msp(), 3, 1);
+        r.assert_no_silent_wrong();
+        // 10 input + 8 output words, 16 bits, 3 boundaries.
+        assert_eq!(r.flips, 18 * 16 * 3, "{}: {} flips", r.backend, r.flips);
+        assert!(
+            r.aborted + r.recovered > 0,
+            "{}: the guard never fired across {} flips",
+            r.backend,
+            r.flips
+        );
+    }
+
+    #[test]
+    fn stateful_double_flip_in_value_bits_is_silent_wrong() {
+        // Teeth control and documented boundary: the parity bit detects
+        // every single flip, so the sweep above is non-vacuous only if a
+        // parity-preserving *double* flip (two value bits of the same
+        // embedded input word) slips through as silent wrong output.
+        let (qm, input) = dense_relu_qmodel();
+        let b = Backend::Stateful;
+        let (expected, _) = fault_free_reference(&qm, &input, &msp(), &b);
+        let mut probe = Device::new(msp(), PowerSystem::continuous());
+        let pm = deploy(&mut probe, &qm).unwrap();
+        let addr = pm.buf(pm.input).addr(0);
+        let out = classify_faults(
+            &qm,
+            &input,
+            &msp(),
+            &b,
+            &[
+                (0, FaultKind::BitFlip { addr, bit: 15 }),
+                (0, FaultKind::BitFlip { addr, bit: 14 }),
+            ],
+            &expected,
+        );
+        assert_eq!(out, CorruptionOutcome::SilentWrong);
     }
 
     #[test]

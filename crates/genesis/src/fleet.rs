@@ -142,8 +142,7 @@ fn score_plan(
     // or link a runtime for scores zero instead of panicking the fleet.
     let mut probe = Device::new(cfg.spec.clone(), PowerSystem::continuous());
     let probed = sonic::deploy::deploy(&mut probe, &qm)
-        .map(|_| ())
-        .and_then(|()| sonic::exec::preflight_runtime(&mut probe, &cfg.backend));
+        .and_then(|dm| sonic::exec::preflight_runtime(&mut probe, &dm, &cfg.backend));
     if let Err(e) = probed {
         return FleetScored {
             plan_index,
@@ -489,6 +488,36 @@ mod tests {
             return;
         }
         assert_eq!(d, PINNED_DIGEST, "fleet-scored sweep drifted");
+    }
+
+    #[test]
+    fn stateful_backend_fleet_scores_the_frontier() {
+        // The fifth backend through the GENESIS measurement loop: every
+        // feasible frontier plan preflights (the tag space covers the
+        // swept models), deploys, and completes on the 100 µF supply
+        // with a real measured score.
+        let (train, test) = tiny_dataset();
+        let costs = CostTable::msp430fr5994();
+        let c = ctx(&train, &test, &costs);
+        let results = sweep(&tiny_base(), &tiny_space(), &c);
+        let cfg = FleetScoreConfig {
+            backend: Backend::Stateful,
+            ..score_cfg(2)
+        };
+        let scored = fleet_score(&results, &c, &cfg);
+        assert!(!scored.is_empty());
+        for s in &scored {
+            assert!(
+                s.deploy_error.is_none(),
+                "{}: {:?}",
+                s.label,
+                s.deploy_error
+            );
+            assert_eq!(s.completed, s.runs, "{}: unexpected DNC", s.label);
+            assert!(s.measured_impj > 0.0);
+            assert_eq!(s.summary.backend, "Stateful");
+            assert_eq!(s.summary.sdc, 0);
+        }
     }
 
     #[test]

@@ -172,10 +172,14 @@ fn main() {
         inputs,
         // Tile-128 rides along because its huge tasks starve on small
         // buffers: its DNCs demonstrate the per-layer attribution below.
+        // Stateful is the progress-embedding backend: no control words
+        // at all — recovery binary-searches the in-band tags, and its
+        // `corr-det` column counts audit-scrubbed tag corruptions.
         backends: vec![
             Backend::Sonic,
             Backend::Tails(Default::default()),
             Backend::Tiled(128),
+            Backend::Stateful,
         ],
         powers: vec![
             PowerSystem::continuous(),

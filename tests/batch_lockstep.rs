@@ -111,6 +111,40 @@ fn body() -> OpBundle {
     b
 }
 
+/// The stateful backend's MAC-element shape: every activation read pays
+/// a tag/parity verify `Alu`, and the element finish packs the embedded
+/// word with another `Alu` before the write.
+fn stateful_mac_body() -> OpBundle {
+    let mut b = OpBundle::new();
+    b.push(Op::FramRead, Phase::Kernel);
+    b.push(Op::Alu, Phase::Kernel); // verify tag/parity
+    b.push(Op::FramRead, Phase::Kernel); // weight
+    b.push(Op::FxpMul, Phase::Kernel);
+    b.push(Op::FxpAdd, Phase::Kernel);
+    b.push(Op::Alu, Phase::Kernel); // embed pack
+    b.push(Op::FramWrite, Phase::Kernel);
+    b
+}
+
+/// The stateful backend's reboot-seek probe: a control-phase tag check
+/// per binary-search step.
+fn stateful_probe_body() -> OpBundle {
+    let mut b = OpBundle::new();
+    b.push(Op::Alu, Phase::Control);
+    b.push(Op::FramRead, Phase::Control);
+    b.push(Op::Alu, Phase::Control);
+    b.push(Op::Branch, Phase::Control);
+    b
+}
+
+fn bundle_for(shape: usize) -> OpBundle {
+    match shape {
+        0 => body(),
+        1 => stateful_mac_body(),
+        _ => stateful_probe_body(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -122,13 +156,14 @@ proptest! {
     fn faulted_batch_is_bit_equal_to_solo_devices(
         plans in prop::collection::vec(lane_plan(), 2..6),
         steps in 5usize..30,
+        shape in 0usize..3,
     ) {
         let mut batch = DeviceBatch::new(
             plans.iter().enumerate().map(|(i, p)| mk_device(p, i)).collect(),
         );
         let mut solo: Vec<Device> =
             plans.iter().enumerate().map(|(i, p)| mk_device(p, i)).collect();
-        let b = body();
+        let b = bundle_for(shape);
         for step in 0..steps {
             let iters = 40 + (step as u64 % 7) * 9;
             let got = batch.consume_bundle_lanes(&b, iters);

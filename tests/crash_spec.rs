@@ -106,6 +106,11 @@ fn exhaustive_single_fault_tiled() {
     exhaustive(Backend::Tiled(4));
 }
 
+#[test]
+fn exhaustive_single_fault_stateful() {
+    exhaustive(Backend::Stateful);
+}
+
 /// Strided sweep over the deep model: a few hundred boundaries per
 /// backend, with backend-specific offsets so repeated suite runs cover
 /// different residues of the boundary space. Exhaustive coverage of
@@ -143,6 +148,11 @@ fn strided_deep_tiled() {
     strided(Backend::Tiled(8), 3);
 }
 
+#[test]
+fn strided_deep_stateful() {
+    strided(Backend::Stateful, 4);
+}
+
 /// A concrete state the runtimes can never produce must be *detected* —
 /// the deliberately-broken-invariant check proving the spec has teeth
 /// end to end (the in-crate unit tests cover each machine's decode
@@ -162,6 +172,9 @@ fn corrupted_control_words_fail_refinement() {
         Backend::Sonic,
         Backend::Tails(TailsConfig::default()),
         Backend::Tiled(8),
+        // Stateful never writes loop words, so any non-reset control
+        // word is unreachable for it too.
+        Backend::Stateful,
     ] {
         let v = check_model_state(&dev, &dm, &backend)
             .expect_err("filt=7 on a 2-filter conv must violate");

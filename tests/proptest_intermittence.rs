@@ -17,9 +17,20 @@ use sonic_tails::dnn::layers::Layer;
 use sonic_tails::dnn::model::Model;
 use sonic_tails::dnn::quant::quantize;
 use sonic_tails::dnn::tensor::Tensor;
-use sonic_tails::mcu::{DeviceSpec, FaultPlan, PowerSystem};
+use sonic_tails::mcu::{Device, DeviceSpec, FaultKind, FaultPlan, PowerSystem};
 use sonic_tails::sonic::exec::{run_inference, run_inference_faulted, Backend, TailsConfig};
-use sonic_tails::sonic::spec::fault_free_reference;
+use sonic_tails::sonic::spec::{
+    classify_faults, fault_free_reference, stateful_tag_words, CorruptionOutcome,
+};
+
+/// Case count: 12 in the tier-1 run, raised via `PROPTEST_CASES` in the
+/// non-gating CI smoke job.
+fn proptest_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
 
 fn random_qmodel(
     seed: u64,
@@ -72,7 +83,7 @@ fn boundaries(fracs: &[f64], ops: u64) -> Vec<u64> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases()))]
 
     #[test]
     fn sonic_faulted_matches_continuous(
@@ -127,6 +138,71 @@ proptest! {
         );
         prop_assert!(out.completed, "{:?} {:?}", out.error, out.brownout);
         prop_assert_eq!(out.output, expected);
+    }
+
+    /// The stateful progress-embedding backend on random networks: with
+    /// no loop words and no redo log, arbitrary multi-fault brown-out
+    /// schedules must still recover bit-exactly through the reboot-time
+    /// binary search over the embedded tags.
+    #[test]
+    fn stateful_faulted_matches_continuous(
+        seed in 0u64..1000,
+        filters in 2usize..5,
+        hidden in 4usize..12,
+        prune in any::<bool>(),
+        fracs in prop::collection::vec(0.0f64..1.0, 1..5),
+    ) {
+        let (qm, input) = random_qmodel(seed, filters, hidden, prune);
+        let spec = DeviceSpec::msp430fr5994();
+        let b = Backend::Stateful;
+        let (expected, ops) = fault_free_reference(&qm, &input, &spec, &b);
+        let plan = FaultPlan::at_each(boundaries(&fracs, ops));
+        let out = run_inference_faulted(
+            &qm, &input, &spec, PowerSystem::continuous(), &b, &plan,
+        );
+        prop_assert!(out.completed, "{:?} {:?}", out.error, out.brownout);
+        prop_assert_eq!(out.output, expected);
+    }
+
+    /// Compound faults against the stateful backend: a brown-out, a
+    /// second brown-out a few ops later (often landing inside the
+    /// reboot-time seek itself), and a bit flip in an embedded tag word.
+    /// Whatever the interleaving, the run must end masked, recovered,
+    /// aborted, or with faults left unfired after a detected abort —
+    /// never a silent wrong answer and never an undetected wedge.
+    #[test]
+    fn stateful_brownout_mid_seek_plus_tag_flip_never_silently_corrupts(
+        seed in 0u64..1000,
+        bo_frac in 0.0f64..1.0,
+        seek_delta in 1u64..40,
+        flip_frac in 0.0f64..1.0,
+        word_frac in 0.0f64..1.0,
+        bit in 0u8..16,
+    ) {
+        let (qm, input) = random_qmodel(seed, 2, 6, false);
+        let spec = DeviceSpec::msp430fr5994();
+        let b = Backend::Stateful;
+        let (expected, ops) = fault_free_reference(&qm, &input, &spec, &b);
+        let mut probe = Device::new(spec.clone(), PowerSystem::continuous());
+        let pm = sonic_tails::sonic::deploy(&mut probe, &qm).unwrap();
+        let words = stateful_tag_words(&pm);
+        let wi = ((word_frac * words.len() as f64) as usize).min(words.len() - 1);
+        let (name, addr) = &words[wi];
+        let t_bo = ((bo_frac * ops as f64) as u64).min(ops - 1);
+        let t_flip = ((flip_frac * ops as f64) as u64).min(ops - 1);
+        let plan = [
+            (t_bo, FaultKind::Brownout),
+            // The recovery seek starts right after the reboot; a second
+            // brown-out a handful of charged ops later interrupts it.
+            (t_bo + seek_delta, FaultKind::Brownout),
+            (t_flip, FaultKind::BitFlip { addr: *addr, bit }),
+        ];
+        let out = classify_faults(&qm, &input, &spec, &b, &plan, &expected);
+        prop_assert!(
+            !matches!(out, CorruptionOutcome::SilentWrong | CorruptionOutcome::Wedged),
+            "{}.bit{} flip @#{} with brown-outs @#{}/#{}: {:?}",
+            name, bit, t_flip, t_bo, t_bo + seek_delta, out
+        );
     }
 
     /// The organic path: a harvested capacitor small enough that the
